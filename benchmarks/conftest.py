@@ -1,0 +1,80 @@
+"""Shared benchmark harness.
+
+Every figure/table bench replays design points over the ten-game suite
+through one session-cached :class:`~repro.sim.experiment.ExperimentRunner`
+(so the expensive functional renders happen once per session) and prints
+a paper-vs-measured table.  Tables are also written to
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — ``small`` (default, 512x256), ``paper``
+  (1960x768, Table II), or ``WIDTHxHEIGHT``.
+* ``REPRO_BENCH_GAMES`` — comma-separated aliases (default: all ten).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dtexl import DTexLConfig, PAPER_CONFIGURATIONS
+from repro.sim.experiment import ExperimentRunner, SuiteResult
+from repro.workloads.games import game_aliases
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _bench_config() -> GPUConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale == "paper":
+        return GPUConfig()
+    if scale == "small":
+        return GPUConfig(screen_width=512, screen_height=256)
+    width, height = scale.lower().split("x")
+    return GPUConfig(screen_width=int(width), screen_height=int(height))
+
+
+def _bench_games():
+    games = os.environ.get("REPRO_BENCH_GAMES")
+    if games:
+        return [g.strip() for g in games.split(",")]
+    return game_aliases()
+
+
+class BenchHarness:
+    """Session-wide cache of traces and suite results."""
+
+    def __init__(self):
+        self.config = _bench_config()
+        self.games = _bench_games()
+        self.runner = ExperimentRunner(self.config, games=self.games)
+        self._suites: Dict[str, SuiteResult] = {}
+
+    def suite(self, design: DTexLConfig) -> SuiteResult:
+        """Suite results for a design point, cached by name."""
+        if design.name not in self._suites:
+            self._suites[design.name] = self.runner.run_suite(design)
+        return self._suites[design.name]
+
+    def named_suite(self, name: str) -> SuiteResult:
+        return self.suite(PAPER_CONFIGURATIONS[name])
+
+    def baseline(self) -> SuiteResult:
+        return self.named_suite("baseline")
+
+    def emit(self, name: str, table: str) -> None:
+        """Print a result table and persist it under benchmarks/results/."""
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+
+
+@pytest.fixture(scope="session")
+def harness() -> BenchHarness:
+    return BenchHarness()

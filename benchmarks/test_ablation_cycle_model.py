@@ -1,0 +1,92 @@
+"""Ablation: analytic vs cycle-level shader-core timing.
+
+The replay uses a closed-form SC model (``C + S/overlap``) that is
+deliberately conservative about latency hiding (see
+``repro.shader.shader_core``).  This bench re-times real per-subtile
+warp populations from one game's trace against two bounds: the
+event-driven **idealized** round-robin cycle model (maximum hiding) and
+the **serial** bound ``C + S`` (no hiding).  The analytic model must lie
+between them, closer to the idealized bound — that bracket is the error
+bar on every cycle count in Figures 13 and 17.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.dtexl import BASELINE
+from repro.shader.cycle_model import CycleAccurateShaderCore
+from repro.shader.shader_core import ShaderCore
+from repro.sim.replay import TraceReplayer
+
+
+def collect_subtiles(harness, game):
+    """Warp-cost populations per (tile, SC) from a real replay."""
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.raster.pipeline import SubtileWork
+
+    trace = harness.runner.trace_for(game)
+    config = harness.config
+    hierarchy = MemoryHierarchy(config)
+    scheduler = BASELINE.build_scheduler(config)
+    subtiles = []
+    for step, tile in enumerate(scheduler.tiles):
+        entry = trace.tiles.get(tile)
+        if entry is None or not entry.quads:
+            continue
+        works = [SubtileWork() for _ in range(config.num_shader_cores)]
+        perm = scheduler.permutation_at(step)
+        for quad in entry.quads:
+            core = perm[scheduler.slot_of(quad.qx, quad.qy)]
+            stall = 0
+            for line in quad.texture_lines:
+                result = hierarchy.texture_access(core, line)
+                if not result.l1_hit:
+                    stall += result.latency
+            works[core].add_quad(quad.compute_cycles, stall)
+        subtiles.extend(w for w in works if w.num_quads)
+    return subtiles
+
+
+def test_ablation_cycle_model(harness, benchmark):
+    game = harness.games[0]
+    subtiles = collect_subtiles(harness, game)
+    shader_config = harness.config.shader
+    analytic = ShaderCore(shader_config)
+    cycle = CycleAccurateShaderCore(shader_config)
+
+    sample = subtiles[:: max(1, len(subtiles) // 200)]  # bound the cost
+    analytic_total = cycle_total = serial_total = compute_total = 0
+    for work in sample:
+        warps = work.warp_costs()
+        analytic_total += analytic.execute_subtile(warps).total_cycles
+        cycle_total += cycle.execute_subtile(warps).total_cycles
+        compute = sum(w.compute_cycles for w in warps)
+        stall = sum(w.stall_cycles for w in warps)
+        serial_total += compute + stall
+        compute_total += compute
+    above_ideal = (analytic_total - cycle_total) / cycle_total * 100.0
+    below_serial = (serial_total - analytic_total) / serial_total * 100.0
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["game", game],
+            ["subtiles timed", len(sample)],
+            ["compute-only lower bound", compute_total],
+            ["idealized cycle model (max hiding)", cycle_total],
+            ["analytic model (replay uses this)", analytic_total],
+            ["serial bound (no hiding)", serial_total],
+            ["analytic above idealized %", above_ideal],
+            ["analytic below serial %", below_serial],
+        ],
+        title="Ablation: analytic SC model vs idealized/serial bounds",
+    )
+    harness.emit("ablation_cycle_model", table)
+
+    # The analytic model sits strictly inside the bracket...
+    assert cycle_total <= analytic_total <= serial_total
+    # ...and much closer to the idealized machine than to serial.
+    assert above_ideal < 35.0
+
+    warps = sample[0].warp_costs()
+    benchmark.pedantic(
+        cycle.execute_subtile, args=(warps,), rounds=3, iterations=1,
+    )

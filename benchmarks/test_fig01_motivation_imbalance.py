@@ -1,0 +1,45 @@
+"""Figure 1: normalized mean deviation of threads (quads) per SC.
+
+Compares a Load-Balancing scheduler (FG-xshift2, the baseline) against a
+Texture-Locality scheduler (CG-square).  The paper's point: the locality
+scheduler's thread distribution is far more imbalanced.
+"""
+
+from repro.analysis.metrics import per_tile_imbalance
+from repro.analysis.tables import format_table
+from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS
+
+
+def test_fig01_motivation_imbalance(harness, benchmark):
+    lb = harness.baseline()
+    tl = harness.named_suite("CG-square-coupled")
+
+    rows = []
+    ratios = []
+    for game in harness.games:
+        lb_dev = per_tile_imbalance(lb.per_game[game].per_tile_quad_counts)
+        tl_dev = per_tile_imbalance(tl.per_game[game].per_tile_quad_counts)
+        ratio = tl_dev / lb_dev if lb_dev else float("inf")
+        ratios.append(ratio)
+        rows.append([game, lb_dev, tl_dev, ratio])
+    finite = [r for r in ratios if r != float("inf")]
+    rows.append(
+        ["MEAN", "-", "-", sum(finite) / len(finite) if finite else 0.0]
+    )
+    table = format_table(
+        ["game", "LB scheduler dev", "TL scheduler dev", "TL/LB"],
+        rows,
+        title="Figure 1: quad-per-SC mean deviation, Load-Balancing vs "
+              "Texture-Locality scheduler (higher = more imbalanced)",
+    )
+    harness.emit("fig01", table)
+
+    # Paper shape: the texture-locality scheduler is much more imbalanced.
+    mean_ratio = sum(finite) / len(finite)
+    assert mean_ratio > 2.0
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run, args=(trace, BASELINE),
+        rounds=2, iterations=1,
+    )

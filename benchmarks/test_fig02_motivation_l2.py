@@ -1,0 +1,42 @@
+"""Figure 2: L2 accesses of a Texture-Locality scheduler normalized to a
+Load-Balancing scheduler.
+
+The flip side of Figure 1: where the LB scheduler wins on balance, the
+TL scheduler wins on L2 traffic (paper shows roughly half the accesses).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.dtexl import PAPER_CONFIGURATIONS
+
+
+def test_fig02_motivation_l2(harness, benchmark):
+    lb = harness.baseline()
+    tl = harness.named_suite("CG-square-coupled")
+
+    rows = []
+    normalized = []
+    for game in harness.games:
+        ratio = tl.per_game[game].l2_accesses / lb.per_game[game].l2_accesses
+        normalized.append(ratio)
+        rows.append(
+            [game, lb.per_game[game].l2_accesses,
+             tl.per_game[game].l2_accesses, ratio]
+        )
+    rows.append(["MEAN", "-", "-", sum(normalized) / len(normalized)])
+    table = format_table(
+        ["game", "LB L2 accesses", "TL L2 accesses", "TL/LB"],
+        rows,
+        title="Figure 2: L2 accesses, Texture-Locality scheduler "
+              "normalized to Load-Balancing (paper: ~0.5)",
+    )
+    harness.emit("fig02", table)
+
+    mean_ratio = sum(normalized) / len(normalized)
+    assert mean_ratio < 0.8  # TL must clearly reduce L2 traffic
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, PAPER_CONFIGURATIONS["CG-square-coupled"]),
+        rounds=2, iterations=1,
+    )

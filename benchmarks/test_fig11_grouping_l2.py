@@ -1,0 +1,55 @@
+"""Figure 11: average L2 accesses of all quad groupings, normalized to
+FG-xshift2.
+
+Sweeps the six fine-grained and four coarse-grained groupings of
+Figure 6 with the baseline's Z-order and constant assignment.  Paper
+shape: fine-grained cluster near 1.0; coarse-grained cut accesses
+drastically (CG-xrect -40%, CG-yrect -45%, CG-square ~ -47%).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.dtexl import DTexLConfig
+from repro.core.quad_grouping import COARSE_GRAINED, FINE_GRAINED
+
+
+def grouping_design(name: str) -> DTexLConfig:
+    """A grouping evaluated in the baseline pipeline (coupled, Z-order)."""
+    return DTexLConfig(name=f"grouping:{name}", grouping=name)
+
+
+def test_fig11_grouping_l2(harness, benchmark):
+    base = harness.baseline()
+    base_total = base.total_l2_accesses
+
+    rows = []
+    results = {}
+    for name in list(FINE_GRAINED) + list(COARSE_GRAINED):
+        if name == "FG-xshift2":
+            suite = base
+        else:
+            suite = harness.suite(grouping_design(name))
+        normalized = suite.total_l2_accesses / base_total
+        results[name] = normalized
+        kind = "FG" if name in FINE_GRAINED else "CG"
+        rows.append([name, kind, suite.total_l2_accesses, normalized])
+    table = format_table(
+        ["grouping", "kind", "L2 accesses", "normalized to FG-xshift2"],
+        rows,
+        title="Figure 11: L2 accesses per quad grouping "
+              "(paper: FG ~1.0; CG-xrect 0.60, CG-yrect 0.55, CG-square ~0.53)",
+    )
+    harness.emit("fig11", table)
+
+    # Shape: every coarse grouping beats every fine grouping on L2.
+    worst_cg = max(results[n] for n in COARSE_GRAINED)
+    best_fg = min(results[n] for n in FINE_GRAINED)
+    assert worst_cg < best_fg
+    # Magnitude: CG-square in the paper's ballpark (a >25% cut).
+    assert results["CG-square"] < 0.75
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, grouping_design("CG-square")),
+        rounds=2, iterations=1,
+    )

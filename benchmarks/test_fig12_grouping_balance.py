@@ -1,0 +1,58 @@
+"""Figure 12: average normalized mean deviation in quad distribution for
+all quad groupings, normalized to FG-xshift2.
+
+The dual of Figure 11: the groupings that win on texture locality lose
+on load balance (paper: CG-xrect ~6x, CG-yrect ~10x the deviation of
+FG-xshift2).
+"""
+
+from repro.analysis.metrics import per_tile_imbalance
+from repro.analysis.tables import format_table
+from repro.core.quad_grouping import COARSE_GRAINED, FINE_GRAINED
+
+from test_fig11_grouping_l2 import grouping_design
+
+
+def suite_imbalance(suite, games):
+    values = [
+        per_tile_imbalance(suite.per_game[g].per_tile_quad_counts)
+        for g in games
+    ]
+    return sum(values) / len(values)
+
+
+def test_fig12_grouping_balance(harness, benchmark):
+    base = harness.baseline()
+    base_dev = suite_imbalance(base, harness.games)
+
+    rows = []
+    results = {}
+    for name in list(FINE_GRAINED) + list(COARSE_GRAINED):
+        suite = base if name == "FG-xshift2" else harness.suite(
+            grouping_design(name)
+        )
+        dev = suite_imbalance(suite, harness.games)
+        normalized = dev / base_dev if base_dev else float("inf")
+        results[name] = normalized
+        kind = "FG" if name in FINE_GRAINED else "CG"
+        rows.append([name, kind, dev, normalized])
+    table = format_table(
+        ["grouping", "kind", "mean deviation", "normalized to FG-xshift2"],
+        rows,
+        title="Figure 12: quad-distribution imbalance per grouping "
+              "(paper: FG ~1x; CG-xrect ~6x, CG-yrect ~10x)",
+    )
+    harness.emit("fig12", table)
+
+    # Shape: every coarse grouping is worse-balanced than every fine one.
+    best_cg = min(results[n] for n in COARSE_GRAINED)
+    worst_fg = max(results[n] for n in FINE_GRAINED)
+    assert best_cg > worst_fg
+    assert results["CG-square"] > 2.0
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, grouping_design("CG-yrect")),
+        rounds=2, iterations=1,
+    )

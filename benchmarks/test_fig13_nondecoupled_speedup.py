@@ -1,0 +1,51 @@
+"""Figure 13: speedup of CG-square and CG-yrect over FG-xshift2, all in
+the NON-decoupled (baseline barrier) architecture.
+
+The paper's negative result that motivates DTexL: despite a ~47% L2
+cut, the coarse groupings deliver no speedup — the caching win is
+offset by load imbalance.
+"""
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tables import format_table
+from repro.core.dtexl import PAPER_CONFIGURATIONS
+
+
+def test_fig13_nondecoupled_speedup(harness, benchmark):
+    base = harness.baseline()
+    square = harness.named_suite("CG-square-coupled")
+    yrect = harness.named_suite("CG-yrect-coupled")
+
+    rows = []
+    for game in harness.games:
+        base_cycles = base.per_game[game].frame_cycles
+        rows.append(
+            [
+                game,
+                base_cycles / square.per_game[game].frame_cycles,
+                base_cycles / yrect.per_game[game].frame_cycles,
+            ]
+        )
+    mean_square = geometric_mean([r[1] for r in rows])
+    mean_yrect = geometric_mean([r[2] for r in rows])
+    rows.append(["GEOMEAN", mean_square, mean_yrect])
+    table = format_table(
+        ["game", "CG-square speedup", "CG-yrect speedup"],
+        rows,
+        title="Figure 13: speedup of coarse groupings without decoupling "
+              "(paper: ~1.0, i.e. no speedup)",
+    )
+    harness.emit("fig13", table)
+
+    # Paper shape: no real speedup without the decoupled barriers.
+    assert mean_square < 1.12
+    assert mean_yrect < 1.12
+    # ...but no collapse either (the caching win offsets the imbalance).
+    assert mean_square > 0.75
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, PAPER_CONFIGURATIONS["CG-yrect-coupled"]),
+        rounds=2, iterations=1,
+    )

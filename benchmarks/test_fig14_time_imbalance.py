@@ -1,0 +1,58 @@
+"""Figure 14: violin of per-tile SC *execution time* imbalance,
+FG-xshift2 vs CG-square (both non-decoupled).
+
+The paper plots, per benchmark, the distribution over tiles of the mean
+deviation in SC time to finish the tile (FG averages ~5%; CG reaches
+150% on TRu).  We print the violin summary statistics per game.
+"""
+
+from repro.analysis.metrics import (
+    per_tile_imbalance_distribution,
+    violin_summary,
+)
+from repro.analysis.tables import format_table
+from repro.core.dtexl import PAPER_CONFIGURATIONS
+
+
+def test_fig14_time_imbalance(harness, benchmark):
+    fg = harness.baseline()
+    cg = harness.named_suite("CG-square-coupled")
+
+    rows = []
+    fg_means, cg_means = [], []
+    for game in harness.games:
+        fg_dist = per_tile_imbalance_distribution(
+            fg.per_game[game].timing.per_tile_sc_cycles
+        )
+        cg_dist = per_tile_imbalance_distribution(
+            cg.per_game[game].timing.per_tile_sc_cycles
+        )
+        fg_stats = violin_summary(fg_dist)
+        cg_stats = violin_summary(cg_dist)
+        fg_means.append(fg_stats["mean"])
+        cg_means.append(cg_stats["mean"])
+        rows.append(
+            [game, fg_stats["mean"], fg_stats["max"],
+             cg_stats["mean"], cg_stats["max"]]
+        )
+    rows.append(
+        ["MEAN", sum(fg_means) / len(fg_means), "-",
+         sum(cg_means) / len(cg_means), "-"]
+    )
+    table = format_table(
+        ["game", "FG mean %", "FG max %", "CG mean %", "CG max %"],
+        rows,
+        title="Figure 14: per-tile SC execution-time deviation "
+              "(paper: FG ~5% mean; CG much larger, up to 150%)",
+    )
+    harness.emit("fig14", table)
+
+    assert sum(cg_means) > 1.5 * sum(fg_means)
+    assert max(r[4] for r in rows[:-1]) > 50.0  # CG has extreme tiles
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, PAPER_CONFIGURATIONS["CG-square-coupled"]),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,58 @@
+"""Figure 15: violin of per-tile *quad count* imbalance, FG-xshift2 vs
+CG-square.
+
+Companion to Figure 14: the deviation in the number of quads per SC is
+one of the two drivers of the execution-time deviation (the other being
+per-quad workload intensity).
+"""
+
+from repro.analysis.metrics import (
+    per_tile_imbalance_distribution,
+    violin_summary,
+)
+from repro.analysis.tables import format_table
+from repro.core.dtexl import BASELINE
+
+
+def test_fig15_quad_imbalance(harness, benchmark):
+    fg = harness.baseline()
+    cg = harness.named_suite("CG-square-coupled")
+
+    rows = []
+    fg_means, cg_means = [], []
+    for game in harness.games:
+        fg_stats = violin_summary(
+            per_tile_imbalance_distribution(
+                fg.per_game[game].per_tile_quad_counts
+            )
+        )
+        cg_stats = violin_summary(
+            per_tile_imbalance_distribution(
+                cg.per_game[game].per_tile_quad_counts
+            )
+        )
+        fg_means.append(fg_stats["mean"])
+        cg_means.append(cg_stats["mean"])
+        rows.append(
+            [game, fg_stats["mean"], fg_stats["max"],
+             cg_stats["mean"], cg_stats["max"]]
+        )
+    rows.append(
+        ["MEAN", sum(fg_means) / len(fg_means), "-",
+         sum(cg_means) / len(cg_means), "-"]
+    )
+    table = format_table(
+        ["game", "FG mean %", "FG max %", "CG mean %", "CG max %"],
+        rows,
+        title="Figure 15: per-tile quad-count deviation per SC "
+              "(paper: CG much higher than FG)",
+    )
+    harness.emit("fig15", table)
+
+    assert sum(cg_means) > 1.5 * sum(fg_means)
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run, args=(trace, BASELINE),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Figure 16: percent decrease in total L2 accesses of the eight subtile
+mappings of Figure 8, plus the conservative upper bound.
+
+Paper shape: Zorder-const / HLB-const ~40.7%; HLB-flp1/2/3 ~46.5%;
+Sorder-const / Sorder-flp ~46.8%; together the mappings close ~80% of
+the gap between the baseline and the single-SC/4x-L1 upper bound.
+"""
+
+from repro.analysis.metrics import percent_decrease
+from repro.analysis.tables import format_table
+from repro.core.assignment_stats import schedule_stats
+from repro.core.dtexl import FIG8_MAPPING_NAMES, PAPER_CONFIGURATIONS
+
+
+def test_fig16_subtile_l2(harness, benchmark):
+    base = harness.baseline()
+    base_total = base.total_l2_accesses
+    upper = harness.named_suite("upper-bound")
+    upper_decrease = percent_decrease(base_total, upper.total_l2_accesses)
+
+    rows = []
+    decreases = {}
+    for name in FIG8_MAPPING_NAMES:
+        design = PAPER_CONFIGURATIONS[name]
+        suite = harness.named_suite(name)
+        decrease = percent_decrease(base_total, suite.total_l2_accesses)
+        decreases[name] = decrease
+        gap_closed = decrease / upper_decrease * 100.0 if upper_decrease else 0
+        stats = schedule_stats(design.build_scheduler(harness.config))
+        rows.append(
+            [name, suite.total_l2_accesses, decrease, gap_closed,
+             stats.capture_rate, stats.fairness]
+        )
+    rows.append(
+        ["upper-bound", upper.total_l2_accesses, upper_decrease, 100.0,
+         "-", "-"]
+    )
+    table = format_table(
+        ["mapping", "L2 accesses", "% decrease vs baseline",
+         "% of gap closed", "edge capture", "SC fairness"],
+        rows,
+        title="Figure 16: L2-access decrease per subtile mapping "
+              "(paper: const ~40.7%, flips ~46.5-46.8%, gap closed ~80%)",
+    )
+    harness.emit("fig16", table)
+
+    # Every mapping improves substantially and none beats the bound.
+    for name, decrease in decreases.items():
+        assert decrease > 20.0, name
+        assert decrease < upper_decrease, name
+    # The best mapping closes a large share of the gap to the bound.
+    assert max(decreases.values()) / upper_decrease > 0.55
+    # Shared-edge-aware flips do not lose to the const mappings.
+    flips = [decreases["HLB-flp1"], decreases["HLB-flp2"],
+             decreases["HLB-flp3"], decreases["Sorder-flp"]]
+    consts = [decreases["Zorder-const"], decreases["HLB-const"]]
+    assert max(flips) >= max(consts) - 1.0
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, PAPER_CONFIGURATIONS["upper-bound"]),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Figure 17: speedup of DTexL (HLB-flp2, decoupled) and of FG-xshift2
+with a decoupled architecture, both over the non-decoupled baseline.
+
+Paper shape: DTexL ~1.2x average (up to ~1.4x on GTr); FG+decoupled
+~1.09x.  The caching improvement of the coarse grouping adds on top of
+what decoupling alone recovers.
+"""
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tables import format_table
+from repro.core.dtexl import PAPER_CONFIGURATIONS
+
+
+def test_fig17_speedup(harness, benchmark):
+    base = harness.baseline()
+    dtexl = harness.named_suite("HLB-flp2")
+    fg_dec = harness.named_suite("FG-xshift2-decoupled")
+
+    rows = []
+    for game in harness.games:
+        base_cycles = base.per_game[game].frame_cycles
+        rows.append(
+            [
+                game,
+                base_cycles / dtexl.per_game[game].frame_cycles,
+                base_cycles / fg_dec.per_game[game].frame_cycles,
+            ]
+        )
+    mean_dtexl = geometric_mean([r[1] for r in rows])
+    mean_fg = geometric_mean([r[2] for r in rows])
+    rows.append(["GEOMEAN", mean_dtexl, mean_fg])
+    table = format_table(
+        ["game", "DTexL (HLB-flp2) speedup", "FG-xshift2 decoupled speedup"],
+        rows,
+        title="Figure 17: speedup over the non-decoupled baseline "
+              "(paper: DTexL ~1.2x, FG+decoupled ~1.09x)",
+    )
+    harness.emit("fig17", table)
+
+    # Paper shape: DTexL wins, and wins more than decoupling alone.
+    assert mean_dtexl > 1.08
+    assert mean_fg > 0.98
+    assert mean_dtexl > mean_fg
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, PAPER_CONFIGURATIONS["HLB-flp2"]),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Figure 18: decrease in total GPU energy of DTexL (HLB-flp2) and of
+FG-xshift2 + decoupled, both w.r.t. the non-decoupled baseline.
+
+Paper shape: ~6.3% average for DTexL (8.8% CCS, 10.6% GTr), ~3% for
+FG+decoupled; energy savings track the Figure 17 speedups because a
+large share of GPU energy is time-proportional.
+"""
+
+from repro.analysis.metrics import percent_decrease
+from repro.analysis.tables import format_table
+from repro.core.dtexl import PAPER_CONFIGURATIONS
+
+
+def test_fig18_energy(harness, benchmark):
+    base = harness.baseline()
+    dtexl = harness.named_suite("HLB-flp2")
+    fg_dec = harness.named_suite("FG-xshift2-decoupled")
+
+    rows = []
+    for game in harness.games:
+        base_mj = base.per_game[game].energy.total_mj
+        rows.append(
+            [
+                game,
+                percent_decrease(base_mj, dtexl.per_game[game].energy.total_mj),
+                percent_decrease(base_mj, fg_dec.per_game[game].energy.total_mj),
+            ]
+        )
+    mean_dtexl = sum(r[1] for r in rows) / len(rows)
+    mean_fg = sum(r[2] for r in rows) / len(rows)
+    rows.append(["MEAN", mean_dtexl, mean_fg])
+    table = format_table(
+        ["game", "DTexL % energy decrease", "FG decoupled % energy decrease"],
+        rows,
+        title="Figure 18: total GPU energy decrease "
+              "(paper: DTexL ~6.3%, FG+decoupled ~3%)",
+    )
+    harness.emit("fig18", table)
+
+    # Paper shape: DTexL saves energy, more than decoupling alone, and
+    # the saving correlates with the speedup (both positive).
+    assert mean_dtexl > 3.0
+    assert mean_dtexl > mean_fg
+
+    trace = harness.runner.trace_for(harness.games[0])
+    benchmark.pedantic(
+        harness.runner.replayer.run,
+        args=(trace, PAPER_CONFIGURATIONS["FG-xshift2-decoupled"]),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,48 @@
+"""Table I: the benchmark suite.
+
+Prints the published metadata for each game next to the measured
+properties of its synthetic stand-in (texture footprint, primitives,
+quads, overdraw) at the bench scale.
+"""
+
+from repro.analysis.tables import format_table
+from repro.workloads.games import GAMES
+from repro.workloads.recipe import MIB
+
+
+def test_table1_benchmarks(harness, benchmark):
+    rows = []
+    for alias in harness.games:
+        spec = GAMES[alias]
+        workload = spec.build(harness.config)
+        trace = harness.runner.trace_for(alias)
+        rows.append(
+            [
+                alias,
+                spec.genre,
+                spec.scene_type,
+                spec.texture_footprint_mib,
+                workload.texture_footprint_bytes / MIB,
+                trace.stats.num_primitives,
+                trace.stats.num_quads,
+                trace.stats.overdraw_factor(harness.config),
+            ]
+        )
+    table = format_table(
+        ["game", "genre", "type", "paper MiB", "measured MiB",
+         "primitives", "quads", "overdraw"],
+        rows,
+        title="Table I: benchmark suite (paper metadata vs synthetic stand-in)",
+    )
+    harness.emit("table1", table)
+
+    # Footprints must track Table I within the mip/pow2 quantization.
+    for row in rows:
+        assert 0.4 * row[3] <= row[4] <= 1.3 * row[3]
+    # Every game renders real work.
+    assert all(row[6] > 0 for row in rows)
+
+    benchmark.pedantic(
+        GAMES[harness.games[0]].build, args=(harness.config,),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,58 @@
+"""Table II: GPU simulation parameters.
+
+Asserts that the library's paper configuration reproduces Table II
+exactly, and prints both the paper configuration and the scale this
+bench session actually runs at.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import KIB, MIB, PAPER_CONFIG, GPUConfig
+
+
+def test_table2_config(harness, benchmark):
+    paper = PAPER_CONFIG
+    rows = [
+        ["Frequency (MHz)", 600, paper.frequency_mhz],
+        ["Voltage (V)", 1.0, paper.voltage],
+        ["Technology (nm)", 32, paper.tech_nm],
+        ["Screen", "1960x768",
+         f"{paper.screen_width}x{paper.screen_height}"],
+        ["Tile size", "32x32", f"{paper.tile_size}x{paper.tile_size}"],
+        ["Shader cores", 4, paper.num_shader_cores],
+        ["DRAM latency (cycles)", "50-100",
+         f"{paper.dram.min_latency}-{paper.dram.max_latency}"],
+        ["Vertex cache", "8KiB 4-way 1cy",
+         f"{paper.vertex_cache.size_bytes // KIB}KiB "
+         f"{paper.vertex_cache.associativity}-way "
+         f"{paper.vertex_cache.hit_latency}cy"],
+        ["Texture caches (4x)", "16KiB 4-way 1cy",
+         f"{paper.texture_cache.size_bytes // KIB}KiB "
+         f"{paper.texture_cache.associativity}-way "
+         f"{paper.texture_cache.hit_latency}cy"],
+        ["Tile cache", "64KiB 4-way 1cy",
+         f"{paper.tile_cache.size_bytes // KIB}KiB "
+         f"{paper.tile_cache.associativity}-way "
+         f"{paper.tile_cache.hit_latency}cy"],
+        ["L2 cache", "1MiB 8-way 12cy",
+         f"{paper.l2_cache.size_bytes // MIB}MiB "
+         f"{paper.l2_cache.associativity}-way "
+         f"{paper.l2_cache.hit_latency}cy"],
+    ]
+    table = format_table(
+        ["parameter", "paper", "library"],
+        rows,
+        title=(
+            "Table II: GPU simulation parameters "
+            f"(bench session runs at {harness.config.screen_width}"
+            f"x{harness.config.screen_height})"
+        ),
+    )
+    harness.emit("table2", table)
+
+    assert paper.screen_width == 1960 and paper.screen_height == 768
+    assert paper.tile_size == 32
+    assert paper.texture_cache.size_bytes == 16 * KIB
+    assert paper.l2_cache.size_bytes == 1 * MIB
+    assert paper.l2_cache.hit_latency == 12
+
+    benchmark.pedantic(GPUConfig, rounds=5, iterations=1)

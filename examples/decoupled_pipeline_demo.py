@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Decoupled-Barrier architecture demo: why decoupling pays.
+
+Builds tiny hand-crafted tile workloads (no rendering) and runs them
+through the pipeline timing model with coupled and decoupled barriers,
+showing the three regimes of §III-E:
+
+1. balanced subtiles       -> decoupling changes little,
+2. rotating heavy subtile  -> decoupling wins big (fast units run ahead),
+3. permanently heavy SC    -> decoupling helps little (the critical
+                              chain is one SC; this is why the flip
+                              assignments must be fair to all SCs).
+
+Usage::
+
+    python examples/decoupled_pipeline_demo.py
+"""
+
+from repro import GPUConfig
+from repro.analysis.tables import format_table
+from repro.raster.pipeline import RasterPipelineModel, SubtileWork, TileWork
+
+
+def subtile(num_quads, compute=12, stall=6):
+    work = SubtileWork()
+    for _ in range(num_quads):
+        work.add_quad(compute, stall)
+    return work
+
+
+def scenario(name, quads_per_tile):
+    tiles = [
+        TileWork(
+            tile=(step, 0), step=step, fetch_cycles=4,
+            subtiles=[subtile(n) for n in quads],
+        )
+        for step, quads in enumerate(quads_per_tile)
+    ]
+    return name, tiles
+
+
+def main() -> None:
+    config = GPUConfig(screen_width=128, screen_height=64)
+    num_tiles = 32
+
+    balanced = scenario(
+        "balanced", [[32, 32, 32, 32]] * num_tiles
+    )
+    rotating = scenario(
+        "rotating hot subtile",
+        [
+            [8, 8, 8, 8][:i % 4] + [104] + [8, 8, 8, 8][i % 4 + 1:]
+            for i in range(num_tiles)
+        ],
+    )
+    permanent = scenario(
+        "permanently hot SC0", [[104, 8, 8, 8]] * num_tiles
+    )
+
+    rows = []
+    for name, tiles in (balanced, rotating, permanent):
+        coupled = RasterPipelineModel(config, decoupled=False).simulate(tiles)
+        decoupled = RasterPipelineModel(config, decoupled=True).simulate(tiles)
+        rows.append(
+            [
+                name,
+                coupled.total_cycles,
+                decoupled.total_cycles,
+                coupled.total_cycles / decoupled.total_cycles,
+                f"{max(coupled.sc_idle_cycles)} -> "
+                f"{max(decoupled.sc_idle_cycles)}",
+            ]
+        )
+    print(format_table(
+        ["scenario", "coupled cycles", "decoupled cycles", "speedup",
+         "max SC idle (coupled -> decoupled)"],
+        rows,
+        title="Decoupled-Barrier architecture (paper Figure 10 / §III-E)",
+    ))
+    print()
+    print(
+        "The rotating case is what a fair subtile assignment (HLB-flp2)\n"
+        "produces; the permanent case is what an unfair one (HLB-flp1)\n"
+        "risks — exactly why the paper designs impartial flips."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Full-suite evaluation: the paper's headline numbers in one run.
+
+Renders all ten Table I games once, then replays each under the
+baseline, FG-xshift2+decoupled, and DTexL (HLB-flp2), printing the
+per-game and average L2 decrease, speedup and energy decrease — the
+contents of Figures 16, 17 and 18 condensed into one table.
+
+This is the long-running example (a few minutes at the default scale).
+
+Usage::
+
+    python examples/suite_evaluation.py [WIDTHxHEIGHT] [GAME,GAME,...]
+"""
+
+import sys
+import time
+
+from repro import GPUConfig
+from repro.analysis.metrics import geometric_mean, percent_decrease
+from repro.analysis.tables import format_table
+from repro.core.dtexl import PAPER_CONFIGURATIONS
+from repro.sim import ExperimentRunner
+from repro.workloads import GAMES
+
+
+def parse_args():
+    width, height = 512, 256
+    games = list(GAMES)
+    for arg in sys.argv[1:]:
+        if "x" in arg and arg.replace("x", "").isdigit():
+            width, height = map(int, arg.split("x"))
+        else:
+            games = [g.strip() for g in arg.split(",")]
+    return GPUConfig(screen_width=width, screen_height=height), games
+
+
+def main() -> None:
+    config, games = parse_args()
+    runner = ExperimentRunner(config, games=games)
+
+    print(f"Pass 1: rendering {len(games)} games at "
+          f"{config.screen_width}x{config.screen_height} ...")
+    start = time.time()
+    for alias in games:
+        runner.trace_for(alias)
+        print(f"  {alias} done ({time.time() - start:.0f}s elapsed)")
+
+    print("Pass 2: replaying design points ...")
+    base = runner.run_baseline()
+    fg_dec = runner.run_suite(PAPER_CONFIGURATIONS["FG-xshift2-decoupled"])
+    dtexl = runner.run_suite(PAPER_CONFIGURATIONS["HLB-flp2"])
+
+    rows = []
+    for game in games:
+        b = base.per_game[game]
+        d = dtexl.per_game[game]
+        f = fg_dec.per_game[game]
+        rows.append(
+            [
+                game,
+                percent_decrease(b.l2_accesses, d.l2_accesses),
+                b.frame_cycles / d.frame_cycles,
+                b.frame_cycles / f.frame_cycles,
+                percent_decrease(b.energy.total_mj, d.energy.total_mj),
+            ]
+        )
+    rows.append(
+        [
+            "MEAN",
+            sum(r[1] for r in rows) / len(rows),
+            geometric_mean([r[2] for r in rows]),
+            geometric_mean([r[3] for r in rows]),
+            sum(r[4] for r in rows) / len(rows),
+        ]
+    )
+    print()
+    print(format_table(
+        ["game", "L2 decrease %", "DTexL speedup", "FG+dec speedup",
+         "energy decrease %"],
+        rows,
+        title="Suite evaluation (paper: 46.8% L2 decrease, 1.2x speedup, "
+              "6.3% energy decrease)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the offline environment has setuptools but no `wheel` package, which the
+PEP 517 editable path requires)."""
+
+from setuptools import setup
+
+setup()

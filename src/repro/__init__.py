@@ -1,0 +1,39 @@
+"""DTexL: Decoupled Raster Pipeline for Texture Locality — reproduction.
+
+A trace-driven simulator of a mobile Tile-Based-Rendering GPU, built to
+reproduce Joseph et al., *DTexL* (MICRO 2022): texture-locality-aware
+quad scheduling (quad groupings, subtile assignments, tile orders) plus
+the Decoupled-Barrier raster pipeline that converts the caching win into
+performance and energy.
+
+Quickstart::
+
+    from repro import ExperimentRunner, BASELINE, DTEXL_BEST
+
+    runner = ExperimentRunner()
+    base = runner.run_suite(BASELINE)
+    best = runner.run_suite(DTEXL_BEST)
+    print(best.mean_l2_decrease_vs(base), best.mean_speedup_vs(base))
+"""
+
+from repro.config import GPUConfig, PAPER_CONFIG, TEST_CONFIG
+from repro.core import (
+    BASELINE,
+    DTEXL_BEST,
+    DTexLConfig,
+    PAPER_CONFIGURATIONS,
+    QuadScheduler,
+)
+from repro.sim import ExperimentRunner, FrameRenderer, RunResult, TraceReplayer
+from repro.workloads import GAMES, build_game
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig", "PAPER_CONFIG", "TEST_CONFIG",
+    "DTexLConfig", "BASELINE", "DTEXL_BEST", "PAPER_CONFIGURATIONS",
+    "QuadScheduler",
+    "ExperimentRunner", "FrameRenderer", "TraceReplayer", "RunResult",
+    "GAMES", "build_game",
+    "__version__",
+]

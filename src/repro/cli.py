@@ -1,0 +1,333 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro info                      # list games / design points / orders
+    python -m repro render GAME [-o out.ppm]  # functional render to an image
+    python -m repro replay GAME [-d NAME ...] # replay design points, print table
+    python -m repro suite [-d NAME ...]       # whole-suite comparison
+    python -m repro sweep [--grouping ...]    # design-space grid, table or CSV
+    python -m repro animate GAME [--frames N] # multi-frame warm-cache run
+    python -m repro schedule [--grouping ...] # visualize a schedule as ASCII
+
+Common options: ``--screen WxH`` picks the simulated resolution
+(default 512x256; ``--screen paper`` = the Table II 1960x768), and
+``--json`` switches tabular output to JSON for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import run_result_to_dict, suite_result_to_dict
+from repro.analysis.tables import format_table
+from repro.config import GPUConfig
+from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS, DTexLConfig
+from repro.core.quad_grouping import GROUPINGS
+from repro.core.subtile_assignment import ASSIGNMENTS
+from repro.core.tile_order import TILE_ORDERS
+from repro.sim import ExperimentRunner, FrameRenderer, TraceReplayer
+from repro.workloads import GAMES, build_game
+
+
+def _parse_screen(value: str) -> GPUConfig:
+    if value == "paper":
+        return GPUConfig()
+    width, height = value.lower().split("x")
+    return GPUConfig(screen_width=int(width), screen_height=int(height))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--screen", type=_parse_screen, default=_parse_screen("512x256"),
+        metavar="WxH|paper", help="simulated screen size (default 512x256)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+
+
+def _designs(names: Optional[List[str]]) -> List[DTexLConfig]:
+    if not names:
+        return [BASELINE, PAPER_CONFIGURATIONS["HLB-flp2"]]
+    out = []
+    for name in names:
+        try:
+            out.append(PAPER_CONFIGURATIONS[name])
+        except KeyError:
+            raise SystemExit(
+                f"unknown design point {name!r}; see `python -m repro info`"
+            )
+    return out
+
+
+def cmd_info(_args) -> int:
+    print("Games (Table I):")
+    for alias, spec in GAMES.items():
+        print(f"  {alias:4s} {spec.title} ({spec.scene_type}, "
+              f"{spec.texture_footprint_mib} MiB)")
+    print("\nDesign points (paper configurations):")
+    for name, cfg in PAPER_CONFIGURATIONS.items():
+        arch = "decoupled" if cfg.decoupled else "coupled"
+        print(f"  {name:22s} {cfg.grouping:10s} {cfg.order:8s} "
+              f"{cfg.assignment:6s} {arch}")
+    print("\nQuad groupings:", ", ".join(sorted(GROUPINGS)))
+    print("Tile orders:   ", ", ".join(sorted(TILE_ORDERS)))
+    print("Assignments:   ", ", ".join(sorted(ASSIGNMENTS)))
+    return 0
+
+
+def cmd_render(args) -> int:
+    config = args.screen
+    workload = build_game(args.game, config)
+    renderer = FrameRenderer(config)
+    trace, framebuffer = renderer.render(workload, with_image=True)
+    output = args.output or f"{args.game.lower()}_frame.ppm"
+    with open(output, "wb") as handle:
+        handle.write(framebuffer.to_ppm())
+    stats = trace.stats
+    print(
+        f"wrote {output}: {stats.num_quads} quads, "
+        f"overdraw {stats.overdraw_factor(config):.2f}, "
+        f"Early-Z cull {stats.z_cull_rate:.0%}"
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    config = args.screen
+    designs = _designs(args.design)
+    workload = build_game(args.game, config)
+    trace, _ = FrameRenderer(config).render(workload)
+    replayer = TraceReplayer(config)
+    results = [replayer.run(trace, design) for design in designs]
+    if args.json:
+        import json
+        print(json.dumps(
+            [run_result_to_dict(r) for r in results], indent=2, sort_keys=True
+        ))
+        return 0
+    base = results[0]
+    rows = [
+        [
+            r.design_point, r.l2_accesses,
+            r.l2_accesses / base.l2_accesses if base.l2_accesses else 0.0,
+            r.frame_cycles, base.frame_cycles / r.frame_cycles,
+            r.energy.total_mj,
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["design point", "L2 accesses", "L2 norm.", "cycles",
+         "speedup", "energy mJ"],
+        rows,
+        title=f"{args.game} at {config.screen_width}x{config.screen_height} "
+              f"(speedup vs {base.design_point})",
+    ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    config = args.screen
+    games = args.games.split(",") if args.games else None
+    runner = ExperimentRunner(config, games=games)
+    designs = _designs(args.design)
+    suites = [runner.run_suite(design) for design in designs]
+    if args.json:
+        import json
+        print(json.dumps(
+            [suite_result_to_dict(s) for s in suites], indent=2, sort_keys=True
+        ))
+        return 0
+    base = suites[0]
+    rows = [
+        [
+            suite.design_point,
+            suite.total_l2_accesses,
+            suite.mean_l2_decrease_vs(base),
+            suite.mean_speedup_vs(base),
+            suite.mean_energy_decrease_vs(base),
+        ]
+        for suite in suites
+    ]
+    print(format_table(
+        ["design point", "L2 accesses", "L2 decrease %", "speedup",
+         "energy decrease %"],
+        rows,
+        title=f"suite of {len(runner.games)} games vs {base.design_point}",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.sim.sweep import DesignSweep, best_row, rows_to_csv
+
+    runner = ExperimentRunner(
+        args.screen, games=args.games.split(",") if args.games else None
+    )
+    sweep = DesignSweep(
+        groupings=args.grouping,
+        assignments=args.assignment,
+        orders=args.order,
+        decoupled=[False, True] if args.both_architectures else [True],
+    )
+    rows = sweep.run(runner)
+    if args.csv:
+        print(rows_to_csv(rows), end="")
+        return 0
+    print(format_table(
+        ["grouping", "assignment", "order", "decoupled", "L2 norm.",
+         "speedup", "imbalance", "energy dec %"],
+        [
+            [r.grouping, r.assignment, r.order, r.decoupled,
+             r.l2_normalized, r.speedup, r.quad_imbalance,
+             r.energy_decrease_pct]
+            for r in rows
+        ],
+        title=f"design-space sweep over {len(runner.games)} games",
+    ))
+    winner = best_row(rows, "speedup")
+    print(f"\nbest by speedup: {winner.grouping}/{winner.assignment}/"
+          f"{winner.order} ({'decoupled' if winner.decoupled else 'coupled'})"
+          f" at {winner.speedup:.3f}x")
+    return 0
+
+
+def cmd_animate(args) -> int:
+    from repro.sim.multiframe import AnimationSimulator
+    from repro.workloads.animation import Animation
+
+    animation = Animation.of_game(args.game, num_frames=args.frames)
+    simulator = AnimationSimulator(args.screen)
+    designs = _designs(args.design)
+    results = [simulator.run(animation, design) for design in designs]
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.design_point,
+                result.total_l2_accesses,
+                sum(f.dram_accesses for f in result.frames),
+                result.total_cycles,
+                result.fps(args.screen.frequency_mhz),
+                result.warmup_ratio(),
+            ]
+        )
+    print(format_table(
+        ["design point", "L2 accesses", "DRAM fills", "cycles",
+         "FPS", "warm-up ratio"],
+        rows,
+        title=f"{args.frames}-frame animation of {args.game} "
+              "(caches persist across frames)",
+    ))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from repro.analysis.visualize import render_schedule_ascii
+
+    config = args.screen
+    design = DTexLConfig(
+        name="cli",
+        grouping=args.grouping,
+        assignment=args.assignment,
+        order=args.order,
+    )
+    scheduler = design.build_scheduler(config)
+    print(render_schedule_ascii(scheduler, max_tiles=args.tiles))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DTexL (MICRO 2022) reproduction — TBR GPU simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list games, design points and knobs")
+
+    p_render = sub.add_parser("render", help="render a game frame to PPM")
+    p_render.add_argument("game", choices=sorted(GAMES))
+    p_render.add_argument("-o", "--output")
+    _add_common(p_render)
+
+    p_replay = sub.add_parser("replay", help="replay design points on one game")
+    p_replay.add_argument("game", choices=sorted(GAMES))
+    p_replay.add_argument(
+        "-d", "--design", action="append", metavar="NAME",
+        help="design point (repeatable; default: baseline + HLB-flp2)",
+    )
+    _add_common(p_replay)
+
+    p_suite = sub.add_parser("suite", help="whole-suite comparison")
+    p_suite.add_argument(
+        "-d", "--design", action="append", metavar="NAME",
+        help="design point (repeatable; default: baseline + HLB-flp2)",
+    )
+    p_suite.add_argument(
+        "--games", metavar="A,B,...", help="subset of game aliases"
+    )
+    _add_common(p_suite)
+
+    p_sweep = sub.add_parser("sweep", help="evaluate a design-space grid")
+    p_sweep.add_argument(
+        "--grouping", nargs="+", default=["FG-xshift2", "CG-square"],
+        choices=sorted(GROUPINGS),
+    )
+    p_sweep.add_argument(
+        "--assignment", nargs="+", default=["const"],
+        choices=sorted(ASSIGNMENTS),
+    )
+    p_sweep.add_argument(
+        "--order", nargs="+", default=["zorder"], choices=sorted(TILE_ORDERS)
+    )
+    p_sweep.add_argument(
+        "--both-architectures", action="store_true",
+        help="sweep coupled AND decoupled (default: decoupled only)",
+    )
+    p_sweep.add_argument("--csv", action="store_true", help="emit CSV")
+    p_sweep.add_argument("--games", metavar="A,B,...")
+    _add_common(p_sweep)
+
+    p_anim = sub.add_parser("animate", help="multi-frame warm-cache run")
+    p_anim.add_argument("game", choices=sorted(GAMES))
+    p_anim.add_argument("--frames", type=int, default=4)
+    p_anim.add_argument(
+        "-d", "--design", action="append", metavar="NAME",
+        help="design point (repeatable; default: baseline + HLB-flp2)",
+    )
+    _add_common(p_anim)
+
+    p_sched = sub.add_parser("schedule", help="visualize a quad schedule")
+    p_sched.add_argument("--grouping", default="CG-square",
+                         choices=sorted(GROUPINGS))
+    p_sched.add_argument("--assignment", default="flp2",
+                         choices=sorted(ASSIGNMENTS))
+    p_sched.add_argument("--order", default="hilbert",
+                         choices=sorted(TILE_ORDERS))
+    p_sched.add_argument("--tiles", type=int, default=8,
+                         help="how many tiles of the traversal to show")
+    _add_common(p_sched)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "render": cmd_render,
+        "replay": cmd_replay,
+        "suite": cmd_suite,
+        "sweep": cmd_sweep,
+        "animate": cmd_animate,
+        "schedule": cmd_schedule,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

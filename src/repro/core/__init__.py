@@ -1,0 +1,46 @@
+"""DTexL core: the paper's primary contribution.
+
+Quad groupings (Figure 6), tile orders (Figure 7), subtile-to-SC
+assignments (Figure 8), the quad scheduler that combines them, and the
+``DTexLConfig`` facade with the paper's named configurations.
+"""
+
+from repro.core.tile_order import (
+    TILE_ORDERS,
+    hilbert_order,
+    hilbert_rect_order,
+    scanline_order,
+    s_order,
+    tile_order,
+    z_order,
+)
+from repro.core.quad_grouping import (
+    FINE_GRAINED,
+    COARSE_GRAINED,
+    GROUPINGS,
+    QuadGrouping,
+    SubtileLayout,
+    get_grouping,
+)
+from repro.core.subtile_assignment import (
+    ASSIGNMENTS,
+    SubtileAssignment,
+    get_assignment,
+)
+from repro.core.scheduler import QuadScheduler
+from repro.core.dtexl import (
+    BASELINE,
+    DTEXL_BEST,
+    DTexLConfig,
+    PAPER_CONFIGURATIONS,
+)
+
+__all__ = [
+    "tile_order", "scanline_order", "z_order", "hilbert_order",
+    "hilbert_rect_order", "s_order", "TILE_ORDERS",
+    "QuadGrouping", "SubtileLayout", "get_grouping",
+    "FINE_GRAINED", "COARSE_GRAINED", "GROUPINGS",
+    "SubtileAssignment", "get_assignment", "ASSIGNMENTS",
+    "QuadScheduler",
+    "DTexLConfig", "BASELINE", "DTEXL_BEST", "PAPER_CONFIGURATIONS",
+]

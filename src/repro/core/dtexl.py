@@ -1,0 +1,124 @@
+"""DTexL configurations: the named design points the paper evaluates.
+
+A :class:`DTexLConfig` names one point in the design space — a quad
+grouping x subtile assignment x tile order x barrier architecture.
+:data:`PAPER_CONFIGURATIONS` enumerates every point the evaluation
+section uses, keyed by the paper's own labels (Figures 8, 16, 17, 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import GPUConfig
+from repro.core.quad_grouping import QuadGrouping, get_grouping
+from repro.core.scheduler import QuadScheduler
+from repro.core.subtile_assignment import SubtileAssignment, get_assignment
+
+
+@dataclass(frozen=True)
+class DTexLConfig:
+    """One evaluated design point."""
+
+    name: str
+    grouping: str = "FG-xshift2"
+    assignment: str = "const"
+    order: str = "zorder"
+    decoupled: bool = False
+    #: Single-SC with a 4x L1: the paper's Figure 16 upper bound.
+    upper_bound: bool = False
+
+    def build_scheduler(self, config: GPUConfig) -> QuadScheduler:
+        """Instantiate the quad scheduler for this design point."""
+        return QuadScheduler(
+            config=config,
+            grouping=self.resolve_grouping(),
+            assignment=self.resolve_assignment(),
+            order_name=self.order,
+        )
+
+    def resolve_grouping(self) -> QuadGrouping:
+        return get_grouping(self.grouping)
+
+    def resolve_assignment(self) -> SubtileAssignment:
+        return get_assignment(self.assignment)
+
+    def effective_gpu_config(self, config: GPUConfig) -> GPUConfig:
+        """The GPU config this design point runs on (handles upper bound)."""
+        if self.upper_bound:
+            return config.with_upper_bound_cache()
+        return config
+
+
+#: The paper's baseline: fine-grained grouping, Z-order, coupled barriers.
+BASELINE = DTexLConfig(name="baseline")
+
+#: The paper's best DTexL point (§V-C2): CG-square + Hilbert + flp2,
+#: decoupled-barrier architecture.
+DTEXL_BEST = DTexLConfig(
+    name="DTexL(HLB-flp2)",
+    grouping="CG-square",
+    assignment="flp2",
+    order="hilbert",
+    decoupled=True,
+)
+
+#: Every named configuration used in the evaluation.
+PAPER_CONFIGURATIONS: Dict[str, DTexLConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        BASELINE,
+        # Figure 13: coarse groupings without decoupling.
+        DTexLConfig(name="CG-square-coupled", grouping="CG-square"),
+        DTexLConfig(name="CG-yrect-coupled", grouping="CG-yrect"),
+        # Figure 17: fine-grained with decoupling only.
+        DTexLConfig(name="FG-xshift2-decoupled", decoupled=True),
+        # Figure 8 / 16: the eight subtile mappings (all decoupled, all
+        # CG; Sorder rows use CG-yrect per the paper, the rest CG-square).
+        DTexLConfig(
+            name="Zorder-const", grouping="CG-square",
+            assignment="const", order="zorder", decoupled=True,
+        ),
+        DTexLConfig(
+            name="Zorder-flp", grouping="CG-square",
+            assignment="flp1", order="zorder", decoupled=True,
+        ),
+        DTexLConfig(
+            name="HLB-const", grouping="CG-square",
+            assignment="const", order="hilbert", decoupled=True,
+        ),
+        DTexLConfig(
+            name="HLB-flp1", grouping="CG-square",
+            assignment="flp1", order="hilbert", decoupled=True,
+        ),
+        DTexLConfig(
+            name="HLB-flp2", grouping="CG-square",
+            assignment="flp2", order="hilbert", decoupled=True,
+        ),
+        DTexLConfig(
+            name="HLB-flp3", grouping="CG-square",
+            assignment="flp3", order="hilbert", decoupled=True,
+        ),
+        DTexLConfig(
+            name="Sorder-const", grouping="CG-yrect",
+            assignment="const", order="sorder", decoupled=True,
+        ),
+        DTexLConfig(
+            name="Sorder-flp", grouping="CG-yrect",
+            assignment="flp1", order="sorder", decoupled=True,
+        ),
+        # Figure 16's conservative upper bound.
+        DTexLConfig(
+            name="upper-bound", grouping="CG-square",
+            order="zorder", decoupled=True, upper_bound=True,
+        ),
+    ]
+}
+
+#: The eight Figure-8 subtile mappings, in presentation order.
+FIG8_MAPPING_NAMES = [
+    "Zorder-const", "Zorder-flp",
+    "HLB-const", "HLB-flp1", "HLB-flp2", "HLB-flp3",
+    "Sorder-const", "Sorder-flp",
+]

@@ -1,0 +1,96 @@
+"""The quad scheduler: grouping + assignment + tile order combined.
+
+This is the hardware block DTexL replaces: it decides, for every quad of
+every tile, which Z-Buffer/Color-Buffer bank (subtile slot) and which
+shader core processes it.  The decision is static per frame — exactly as
+in the paper, where the mapping is a function of tile-order step and quad
+coordinates only, never of runtime load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.core.quad_grouping import QuadGrouping
+from repro.core.subtile_assignment import Permutation, SubtileAssignment
+from repro.core.tile_order import TileCoord, tile_order
+
+
+class QuadScheduler:
+    """Static quad-to-shader-core schedule for one frame.
+
+    Parameters
+    ----------
+    config:
+        GPU geometry (tile grid, quads per tile).
+    grouping:
+        The Figure 6 quad grouping (quad -> subtile slot).
+    assignment:
+        The Figure 8 binding policy (slot -> SC per tile step).
+    order_name:
+        The Figure 7 tile order name.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        grouping: QuadGrouping,
+        assignment: SubtileAssignment,
+        order_name: str,
+    ):
+        self.config = config
+        self.grouping = grouping
+        self.assignment = assignment
+        self.order_name = order_name
+
+        self.tiles: List[TileCoord] = tile_order(
+            order_name, config.tiles_x, config.tiles_y
+        )
+        self._step_of_tile = {tile: i for i, tile in enumerate(self.tiles)}
+        self._perms: List[Permutation] = assignment.permutation_sequence(
+            self.tiles, grouping.layout
+        )
+        side = config.quads_per_tile_side
+        self._slot_map: List[List[int]] = grouping.slot_map(side)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.tiles)
+
+    def step_of(self, tile: TileCoord) -> int:
+        """Position of ``tile`` in the traversal."""
+        return self._step_of_tile[tile]
+
+    def slot_of(self, qx: int, qy: int) -> int:
+        """Subtile slot of in-tile quad ``(qx, qy)``."""
+        return self._slot_map[qy][qx]
+
+    def permutation_at(self, step: int) -> Permutation:
+        """slot -> SC binding at traversal position ``step``."""
+        return self._perms[step]
+
+    def core_of(self, step: int, qx: int, qy: int) -> int:
+        """Shader core executing quad ``(qx, qy)`` of the step-th tile."""
+        return self._perms[step][self._slot_map[qy][qx]]
+
+    def core_map(self, step: int) -> List[List[int]]:
+        """Full quad -> SC matrix for the step-th tile (for plots/tests)."""
+        perm = self._perms[step]
+        return [[perm[slot] for slot in row] for row in self._slot_map]
+
+    def quad_counts_per_core(
+        self, step: int, occupied: Sequence[Tuple[int, int]]
+    ) -> List[int]:
+        """Histogram of shaded quads per SC for one tile.
+
+        ``occupied`` lists the (qx, qy) of quads that actually produced
+        work (after rasterization and Early-Z).
+        """
+        counts = [0] * self.config.num_shader_cores
+        perm = self._perms[step]
+        for qx, qy in occupied:
+            counts[perm[self._slot_map[qy][qx]]] += 1
+        return counts

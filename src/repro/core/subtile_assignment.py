@@ -1,0 +1,175 @@
+"""Subtile-to-shader-core assignment policies (paper Figure 8, §III-D).
+
+As the Tile Fetcher walks the tile order, each tile's four subtile slots
+must be bound to the four shader cores.  A constant binding wastes the
+texture locality across shared tile edges; the *flip* policies re-bind
+the slots so that the subtiles that share an edge with the previous tile
+land on the same SC — and the fairer variants rotate which SC gets the
+shared edge so no core is favoured over the frame.
+
+Policies:
+
+* ``const`` — identity binding for every tile (Fig 8a/8c/8g).
+* ``flp1``  — flip the binding along the shared edge of each pair of
+  edge-adjacent consecutive tiles (Fig 8b/8d).  One SC keeps the edge
+  advantage for the whole frame.
+* ``flp2``  — ``flp1`` plus, when stepping from an even to an odd tile,
+  the two non-sharing subtiles also swap (Fig 8e).  Fair to all SCs.
+  **The paper's best-performing assignment (HLB-flp2).**
+* ``flp3``  — ``flp1`` plus a 180-degree flip of all four subtiles every
+  16 tiles (Fig 8f).  Also fair over the frame.
+
+A policy is evaluated against a :class:`~repro.core.quad_grouping.SubtileLayout`
+so flips know where the slots physically sit; for fine-grained
+(interleaved) groupings flips are meaningless and every policy collapses
+to ``const``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.quad_grouping import NUM_SLOTS, SubtileLayout
+from repro.core.tile_order import TileCoord
+
+Permutation = Tuple[int, ...]  # perm[slot] = shader core
+
+IDENTITY: Permutation = tuple(range(NUM_SLOTS))
+
+#: Grid position of each slot per layout: slot -> (px, py), plus extent.
+_LAYOUT_POSITIONS: Dict[SubtileLayout, Tuple[Dict[int, Tuple[int, int]], Tuple[int, int]]] = {
+    SubtileLayout.SQUARE: (
+        {0: (0, 0), 1: (1, 0), 2: (0, 1), 3: (1, 1)}, (2, 2)
+    ),
+    SubtileLayout.XSTRIPS: ({s: (s, 0) for s in range(4)}, (4, 1)),
+    SubtileLayout.YSTRIPS: ({s: (0, s) for s in range(4)}, (1, 4)),
+}
+
+#: Period of flp3's full flip, from the paper ("every 16 tiles").
+FLP3_PERIOD = 16
+
+VALID_POLICIES = ("const", "flp1", "flp2", "flp3")
+
+
+class _SlotGrid:
+    """Mutable position -> SC mapping used to apply flips."""
+
+    def __init__(self, layout: SubtileLayout):
+        positions, extent = _LAYOUT_POSITIONS[layout]
+        self.positions = positions
+        self.extent = extent
+        # Start with slot s on core s.
+        self.cores: Dict[Tuple[int, int], int] = {
+            pos: slot for slot, pos in positions.items()
+        }
+
+    def flip_x(self) -> None:
+        ex, _ = self.extent
+        if ex == 1:
+            return
+        self.cores = {
+            (ex - 1 - x, y): sc for (x, y), sc in self.cores.items()
+        }
+
+    def flip_y(self) -> None:
+        _, ey = self.extent
+        if ey == 1:
+            return
+        self.cores = {
+            (x, ey - 1 - y): sc for (x, y), sc in self.cores.items()
+        }
+
+    def swap_far_pair(self, dx: int, dy: int) -> None:
+        """Swap the two slots farthest from the shared edge (flp2).
+
+        Only meaningful for the SQUARE layout; strips have no
+        perpendicular pair to swap.
+        """
+        ex, ey = self.extent
+        if (ex, ey) != (2, 2):
+            return
+        if dx:
+            # Shared edge is vertical; far column is the one the step
+            # points away from in the new tile.
+            far_x = ex - 1 if dx > 0 else 0
+            a, b = (far_x, 0), (far_x, 1)
+        elif dy:
+            far_y = ey - 1 if dy > 0 else 0
+            a, b = (0, far_y), (1, far_y)
+        else:
+            return
+        self.cores[a], self.cores[b] = self.cores[b], self.cores[a]
+
+    def permutation(self) -> Permutation:
+        return tuple(
+            self.cores[self.positions[slot]] for slot in range(NUM_SLOTS)
+        )
+
+
+@dataclass(frozen=True)
+class SubtileAssignment:
+    """A named subtile-to-SC binding policy."""
+
+    name: str
+    policy: str
+
+    def __post_init__(self) -> None:
+        if self.policy not in VALID_POLICIES:
+            raise ValueError(
+                f"policy must be one of {VALID_POLICIES}, got {self.policy!r}"
+            )
+
+    def permutation_sequence(
+        self, tiles: Sequence[TileCoord], layout: SubtileLayout
+    ) -> List[Permutation]:
+        """The slot->SC permutation for each step of the tile order.
+
+        ``perm[i][slot]`` is the shader core that executes ``slot`` of the
+        i-th tile in the traversal.
+        """
+        if layout is SubtileLayout.INTERLEAVED or self.policy == "const":
+            return [IDENTITY] * len(tiles)
+
+        grid = _SlotGrid(layout)
+        perms: List[Permutation] = []
+        for step, tile in enumerate(tiles):
+            if step > 0:
+                prev = tiles[step - 1]
+                dx, dy = tile[0] - prev[0], tile[1] - prev[1]
+                edge_adjacent = abs(dx) + abs(dy) == 1
+                if edge_adjacent:
+                    if dx:
+                        grid.flip_x()
+                    else:
+                        grid.flip_y()
+                    if self.policy == "flp2" and step % 2 == 0:
+                        # Stepping from an even tile (1-based: tile
+                        # number ``step``) to an odd one.
+                        grid.swap_far_pair(dx, dy)
+                if self.policy == "flp3" and step % FLP3_PERIOD == 0:
+                    grid.flip_x()
+                    grid.flip_y()
+            perms.append(grid.permutation())
+        return perms
+
+
+ASSIGNMENTS: Dict[str, SubtileAssignment] = {
+    a.name: a
+    for a in [
+        SubtileAssignment("const", "const"),
+        SubtileAssignment("flp1", "flp1"),
+        SubtileAssignment("flp2", "flp2"),
+        SubtileAssignment("flp3", "flp3"),
+    ]
+}
+
+
+def get_assignment(name: str) -> SubtileAssignment:
+    """Look up an assignment policy by name."""
+    try:
+        return ASSIGNMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown assignment {name!r}; choose from {sorted(ASSIGNMENTS)}"
+        ) from None

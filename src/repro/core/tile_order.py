@@ -1,0 +1,164 @@
+"""Tile traversal orders (paper Figure 7 and §III-C).
+
+A tile order is the sequence in which the Tile Fetcher feeds tiles to the
+Raster Pipeline.  Tiles are independent, so any permutation is legal; the
+order reorders the texture access stream at tile granularity and is one
+of DTexL's two levers on locality.
+
+Orders provided:
+
+* ``scanline`` — row-major.
+* ``zorder``   — Morton order (the baseline's traversal, Table II).
+* ``hilbert``  — the paper's rect-adapted Hilbert: a Hilbert curve on
+  8x8-tile square sub-frames, sub-frames traversed boustrophedonically.
+* ``sorder``   — boustrophedon (serpentine) traversal, column-major, so
+  consecutive tiles always share an edge.
+
+All functions return a list of ``(tx, ty)`` tile coordinates covering the
+``tiles_x`` x ``tiles_y`` grid exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+TileCoord = Tuple[int, int]
+
+#: Side (in tiles) of the square sub-frames the rect-adapted Hilbert uses.
+HILBERT_SUBFRAME = 8
+
+
+def _validate(tiles_x: int, tiles_y: int) -> None:
+    if tiles_x <= 0 or tiles_y <= 0:
+        raise ValueError("tile grid dimensions must be positive")
+
+
+def scanline_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Row-major traversal."""
+    _validate(tiles_x, tiles_y)
+    return [(tx, ty) for ty in range(tiles_y) for tx in range(tiles_x)]
+
+
+def s_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Boustrophedon traversal: down one column, up the next.
+
+    Every pair of consecutive tiles shares an edge, which maximises the
+    opportunities for shared-edge subtile assignment (Fig 8(g)/(h)).
+    """
+    _validate(tiles_x, tiles_y)
+    out: List[TileCoord] = []
+    for tx in range(tiles_x):
+        ys = range(tiles_y) if tx % 2 == 0 else range(tiles_y - 1, -1, -1)
+        out.extend((tx, ty) for ty in ys)
+    return out
+
+
+def z_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Morton (Z) order, skipping codes that fall outside the grid."""
+    _validate(tiles_x, tiles_y)
+    side = 1
+    while side < max(tiles_x, tiles_y):
+        side *= 2
+    out: List[TileCoord] = []
+    for code in range(side * side):
+        x = _compact_bits(code)
+        y = _compact_bits(code >> 1)
+        if x < tiles_x and y < tiles_y:
+            out.append((x, y))
+    return out
+
+
+def _compact_bits(n: int) -> int:
+    """Extract the even-position bits of n (inverse of bit interleave)."""
+    n &= 0x5555555555555555
+    n = (n ^ (n >> 1)) & 0x3333333333333333
+    n = (n ^ (n >> 2)) & 0x0F0F0F0F0F0F0F0F
+    n = (n ^ (n >> 4)) & 0x00FF00FF00FF00FF
+    n = (n ^ (n >> 8)) & 0x0000FFFF0000FFFF
+    n = (n ^ (n >> 16)) & 0xFFFFFFFF
+    return n
+
+
+def _hilbert_d2xy(order: int, d: int) -> TileCoord:
+    """Point at distance ``d`` along a Hilbert curve of 2^order x 2^order."""
+    x = y = 0
+    t = d
+    s = 1
+    n = 1 << order
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Plain Hilbert order over the bounding square, clipped to the grid."""
+    _validate(tiles_x, tiles_y)
+    order = 0
+    while (1 << order) < max(tiles_x, tiles_y):
+        order += 1
+    out: List[TileCoord] = []
+    for d in range(1 << (2 * order)):
+        x, y = _hilbert_d2xy(order, d)
+        if x < tiles_x and y < tiles_y:
+            out.append((x, y))
+    return out
+
+
+def hilbert_rect_order(
+    tiles_x: int, tiles_y: int, subframe: int = HILBERT_SUBFRAME
+) -> List[TileCoord]:
+    """The paper's rectangle-adapted Hilbert order (§III-C).
+
+    "We apply the Hilbert order on a square sub-frame with 8x8 tiles and
+    then traverse all the sub-frames in the frame boustrophedonically."
+    Sub-frames on the right/bottom edge may be partial; out-of-range
+    positions are skipped.
+    """
+    _validate(tiles_x, tiles_y)
+    if subframe <= 0 or subframe & (subframe - 1):
+        raise ValueError("subframe side must be a positive power of two")
+    order = subframe.bit_length() - 1
+    curve = [_hilbert_d2xy(order, d) for d in range(subframe * subframe)]
+    frames_x = -(-tiles_x // subframe)
+    frames_y = -(-tiles_y // subframe)
+    out: List[TileCoord] = []
+    for fy in range(frames_y):
+        xs = range(frames_x) if fy % 2 == 0 else range(frames_x - 1, -1, -1)
+        for fx in xs:
+            base_x, base_y = fx * subframe, fy * subframe
+            for cx, cy in curve:
+                tx, ty = base_x + cx, base_y + cy
+                if tx < tiles_x and ty < tiles_y:
+                    out.append((tx, ty))
+    return out
+
+
+TILE_ORDERS: Dict[str, Callable[[int, int], List[TileCoord]]] = {
+    "scanline": scanline_order,
+    "zorder": z_order,
+    "hilbert": hilbert_rect_order,
+    "hilbert-square": hilbert_order,
+    "sorder": s_order,
+}
+
+
+def tile_order(name: str, tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Look up a tile order by name and generate it for the given grid."""
+    try:
+        fn = TILE_ORDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tile order {name!r}; choose from {sorted(TILE_ORDERS)}"
+        ) from None
+    return fn(tiles_x, tiles_y)

@@ -1,0 +1,92 @@
+"""Frustum clipping and back-face culling.
+
+Primitives are clipped against the near plane (w > epsilon) in homogeneous
+clip space using Sutherland-Hodgman, then trivially rejected when fully
+outside the left/right/top/bottom planes.  Full polygon clipping against
+all six planes is unnecessary for correctness here because the Rasterizer
+clamps its pixel loop to the tile, but near-plane clipping *is* required
+to keep the perspective divide well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry.primitive_assembly import Primitive
+from repro.geometry.vertex_stage import TransformedVertex
+
+#: Minimum w after clipping; keeps 1/w finite.
+NEAR_EPSILON = 1e-5
+
+
+def cull_backface(primitive: Primitive, cull_back: bool = False) -> bool:
+    """Return True when the primitive should be discarded.
+
+    Degenerate (zero-area) triangles are always discarded.  When
+    ``cull_back`` is set, back-facing triangles (negative signed area in
+    NDC, i.e. clockwise with y up) are discarded too; the synthetic
+    workloads render double-sided by default, as most mobile 2D/UI
+    content does.
+    """
+    try:
+        a = primitive.vertices[0].clip_position.perspective_divide()
+        b = primitive.vertices[1].clip_position.perspective_divide()
+        c = primitive.vertices[2].clip_position.perspective_divide()
+    except ZeroDivisionError:
+        return True
+    area2 = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)
+    if area2 == 0.0:
+        return True
+    return cull_back and area2 < 0.0
+
+
+def _clip_against_near(
+    vertices: List[TransformedVertex],
+) -> List[TransformedVertex]:
+    """Sutherland-Hodgman against the plane w = NEAR_EPSILON."""
+    output: List[TransformedVertex] = []
+    count = len(vertices)
+    for i in range(count):
+        current = vertices[i]
+        following = vertices[(i + 1) % count]
+        current_in = current.clip_position.w > NEAR_EPSILON
+        following_in = following.clip_position.w > NEAR_EPSILON
+        if current_in:
+            output.append(current)
+        if current_in != following_in:
+            wa = current.clip_position.w
+            wb = following.clip_position.w
+            t = (NEAR_EPSILON - wa) / (wb - wa)
+            output.append(TransformedVertex.lerp(current, following, t))
+    return output
+
+
+def _outside_one_plane(primitive: Primitive) -> bool:
+    """Trivial rejection: all vertices outside the same frustum side."""
+    verts = primitive.vertices
+    for axis in ("x", "y", "z"):
+        if all(getattr(v.clip_position, axis) > v.clip_position.w for v in verts):
+            return True
+        if all(getattr(v.clip_position, axis) < -v.clip_position.w for v in verts):
+            return True
+    return False
+
+
+def clip_primitive(primitive: Primitive) -> List[Primitive]:
+    """Clip one primitive; returns 0, 1 or 2 triangles.
+
+    Near-plane clipping of a triangle yields a triangle or a quad; the
+    quad is fanned into two triangles that keep the original primitive id
+    (they remain the same logical primitive for ordering purposes).
+    """
+    if _outside_one_plane(primitive):
+        return []
+    polygon = _clip_against_near(list(primitive.vertices))
+    if len(polygon) < 3:
+        return []
+    fanned: List[Primitive] = []
+    for i in range(1, len(polygon) - 1):
+        fanned.append(
+            primitive.with_vertices([polygon[0], polygon[i], polygon[i + 1]])
+        )
+    return [p for p in fanned if not cull_backface(p)]

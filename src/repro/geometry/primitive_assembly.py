@@ -1,0 +1,83 @@
+"""The Primitive Assembler.
+
+"The Primitive Assembler takes the vertices in program order and joins
+them to produce primitives."  A :class:`Primitive` carries its three
+transformed vertices plus the rendering state (texture, shader) it was
+drawn with; primitive ids are assigned globally in program order, which
+the Polygon List Builder and Rasterizer rely on for correctness (quads
+of primitive *i* must complete before quads of primitive *i+1* within a
+tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.geometry.mesh import DrawCommand, ShaderProgram
+from repro.geometry.vertex_stage import TransformedVertex
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """An assembled triangle in clip space with its render state."""
+
+    primitive_id: int
+    vertices: Sequence[TransformedVertex]  # exactly 3
+    texture_id: int
+    shader: ShaderProgram
+    depth_write: bool = True
+    blend: bool = False
+    late_z: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) != 3:
+            raise ValueError("a primitive is a triangle: need 3 vertices")
+
+    def with_vertices(self, vertices: Sequence[TransformedVertex]) -> "Primitive":
+        """Copy with replaced vertices (used by the clipper)."""
+        return Primitive(
+            primitive_id=self.primitive_id,
+            vertices=tuple(vertices),
+            texture_id=self.texture_id,
+            shader=self.shader,
+            depth_write=self.depth_write,
+            blend=self.blend,
+            late_z=self.late_z,
+        )
+
+
+class PrimitiveAssembler:
+    """Joins transformed vertices into triangles in program order."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+
+    def assemble(
+        self, draw: DrawCommand, transformed: List[TransformedVertex]
+    ) -> Iterator[Primitive]:
+        """Yield one primitive per index triple of the draw command.
+
+        ``transformed`` must be in index order, exactly as produced by
+        :meth:`repro.geometry.vertex_stage.VertexStage.run`.
+        """
+        if len(transformed) != len(draw.mesh.indices):
+            raise ValueError(
+                "transformed vertex stream does not match the index buffer"
+            )
+        for i in range(0, len(transformed), 3):
+            primitive = Primitive(
+                primitive_id=self._next_id,
+                vertices=tuple(transformed[i : i + 3]),
+                texture_id=draw.texture_id,
+                shader=draw.shader,
+                depth_write=draw.depth_write,
+                blend=draw.blend,
+                late_z=draw.late_z,
+            )
+            self._next_id += 1
+            yield primitive
+
+    @property
+    def primitives_assembled(self) -> int:
+        return self._next_id

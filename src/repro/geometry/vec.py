@@ -1,0 +1,186 @@
+"""Small immutable vector and matrix types.
+
+These are deliberately plain (tuples + floats, no numpy broadcasting) so
+that the geometry pipeline stays easy to reason about and hash-stable.
+Bulk math in the rasterizer uses numpy directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """2-component vector (texture coordinates, screen positions)."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, k: float) -> "Vec2":
+        return Vec2(self.x * k, self.y * k)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Vec2") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def length(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """3-component vector (positions, normals, colors)."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, k: float) -> "Vec3":
+        return Vec3(self.x * k, self.y * k, self.z * k)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def length(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def normalized(self) -> "Vec3":
+        n = self.length()
+        if n == 0.0:
+            raise ValueError("cannot normalize a zero vector")
+        return self * (1.0 / n)
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+
+@dataclass(frozen=True)
+class Vec4:
+    """Homogeneous 4-component vector (clip-space positions)."""
+
+    x: float
+    y: float
+    z: float
+    w: float
+
+    def __add__(self, other: "Vec4") -> "Vec4":
+        return Vec4(
+            self.x + other.x, self.y + other.y,
+            self.z + other.z, self.w + other.w,
+        )
+
+    def __sub__(self, other: "Vec4") -> "Vec4":
+        return Vec4(
+            self.x - other.x, self.y - other.y,
+            self.z - other.z, self.w - other.w,
+        )
+
+    def __mul__(self, k: float) -> "Vec4":
+        return Vec4(self.x * k, self.y * k, self.z * k, self.w * k)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Vec4") -> float:
+        return (
+            self.x * other.x + self.y * other.y
+            + self.z * other.z + self.w * other.w
+        )
+
+    def perspective_divide(self) -> Vec3:
+        """Clip space -> normalized device coordinates."""
+        if self.w == 0.0:
+            raise ZeroDivisionError("perspective divide by w == 0")
+        inv = 1.0 / self.w
+        return Vec3(self.x * inv, self.y * inv, self.z * inv)
+
+    def xyz(self) -> Vec3:
+        return Vec3(self.x, self.y, self.z)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x, self.y, self.z, self.w)
+
+    @staticmethod
+    def from_vec3(v: Vec3, w: float = 1.0) -> "Vec4":
+        return Vec4(v.x, v.y, v.z, w)
+
+    @staticmethod
+    def lerp(a: "Vec4", b: "Vec4", t: float) -> "Vec4":
+        return a + (b - a) * t
+
+
+class Mat4:
+    """Row-major 4x4 matrix."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Iterable[Iterable[float]]):
+        self.rows: Tuple[Tuple[float, ...], ...] = tuple(
+            tuple(float(v) for v in row) for row in rows
+        )
+        if len(self.rows) != 4 or any(len(r) != 4 for r in self.rows):
+            raise ValueError("Mat4 requires 4 rows of 4 values")
+
+    @staticmethod
+    def identity() -> "Mat4":
+        return Mat4(
+            [
+                [1, 0, 0, 0],
+                [0, 1, 0, 0],
+                [0, 0, 1, 0],
+                [0, 0, 0, 1],
+            ]
+        )
+
+    def __matmul__(self, other: "Mat4") -> "Mat4":
+        a, b = self.rows, other.rows
+        return Mat4(
+            [
+                [sum(a[i][k] * b[k][j] for k in range(4)) for j in range(4)]
+                for i in range(4)
+            ]
+        )
+
+    def transform(self, v: Vec4) -> Vec4:
+        t = v.as_tuple()
+        out = [sum(row[k] * t[k] for k in range(4)) for row in self.rows]
+        return Vec4(*out)
+
+    def transform_point(self, p: Vec3) -> Vec4:
+        return self.transform(Vec4.from_vec3(p, 1.0))
+
+    def transform_direction(self, d: Vec3) -> Vec3:
+        return self.transform(Vec4.from_vec3(d, 0.0)).xyz()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Mat4) and self.rows == other.rows
+
+    def __repr__(self) -> str:
+        return f"Mat4({self.rows!r})"

@@ -1,0 +1,80 @@
+"""The Vertex Stage of the Geometry Pipeline.
+
+"A Draw Command triggers the Geometry Pipeline and the Vertex Stage starts
+fetching vertices from memory using an L1 Vertex Cache.  It then transforms
+them according to a vertex program."  Here the vertex program is the
+standard model-view-projection transform; vertex fetches go through the
+memory hierarchy's vertex cache so that geometry traffic shows up in the
+L2 statistics exactly as in the baseline architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry.mesh import DrawCommand, Vertex
+from repro.geometry.vec import Mat4, Vec2, Vec3, Vec4
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class TransformedVertex:
+    """A vertex after the vertex program: clip-space position + attributes."""
+
+    clip_position: Vec4
+    uv: Vec2
+    color: Vec3
+
+    @staticmethod
+    def lerp(a: "TransformedVertex", b: "TransformedVertex", t: float) -> "TransformedVertex":
+        """Linear interpolation in clip space (used by the clipper)."""
+        return TransformedVertex(
+            clip_position=Vec4.lerp(a.clip_position, b.clip_position, t),
+            uv=a.uv + (b.uv - a.uv) * t,
+            color=a.color + (b.color - a.color) * t,
+        )
+
+
+class VertexStage:
+    """Fetches and transforms the vertices of a draw command."""
+
+    def __init__(self, hierarchy: Optional[MemoryHierarchy] = None):
+        self.hierarchy = hierarchy
+        self.vertices_processed = 0
+
+    def run(
+        self,
+        draw: DrawCommand,
+        view: Mat4,
+        projection: Mat4,
+    ) -> List[TransformedVertex]:
+        """Transform every vertex of ``draw`` into clip space.
+
+        Vertex fetches are issued to the vertex cache in index order —
+        the same order the Primitive Assembler will consume them — so
+        index-buffer locality is captured.
+        """
+        mvp = projection @ view @ draw.model_matrix
+        transformed: List[Optional[TransformedVertex]] = (
+            [None] * len(draw.mesh.vertices)
+        )
+        out: List[TransformedVertex] = []
+        for index in draw.mesh.indices:
+            if self.hierarchy is not None:
+                line = draw.mesh.vertex_address(index) // 64
+                self.hierarchy.vertex_access(line)
+            cached = transformed[index]
+            if cached is None:
+                cached = self._transform_one(draw.mesh.vertices[index], mvp)
+                transformed[index] = cached
+                self.vertices_processed += 1
+            out.append(cached)
+        return out
+
+    @staticmethod
+    def _transform_one(vertex: Vertex, mvp: Mat4) -> TransformedVertex:
+        clip = mvp.transform_point(vertex.position)
+        return TransformedVertex(
+            clip_position=clip, uv=vertex.uv, color=vertex.color
+        )

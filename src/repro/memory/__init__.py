@@ -1,0 +1,12 @@
+"""Memory substrate: set-associative caches, DRAM, and the hierarchy.
+
+This package models the memory system of Figure 5 of the paper: private
+per-SC L1 texture caches plus vertex and tile caches, all backed by a
+shared L2, which is backed by main memory.
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["Cache", "CacheStats", "DRAM", "MemoryHierarchy", "AccessResult"]

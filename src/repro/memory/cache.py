@@ -1,0 +1,146 @@
+"""Set-associative LRU cache model.
+
+Caches are indexed by byte address; internally everything is tracked at
+cache-line granularity.  The model is purely functional w.r.t. timing —
+it reports hits and misses, and the surrounding hierarchy converts those
+into latencies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when never accessed)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new ``CacheStats`` with the sums of both counters."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+
+
+@dataclass
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    Parameters come from a :class:`~repro.config.CacheConfig`.  Each set is
+    an ``OrderedDict`` mapping line-tag -> None, oldest first, so a hit is
+    a ``move_to_end`` and a replacement pops the front.
+    """
+
+    config: CacheConfig
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._line_shift = self.config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != self.config.line_bytes:
+            raise ValueError("line size must be a power of two")
+        self._num_sets = self.config.num_sets
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    # -- address helpers ------------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        """Cache-line number containing ``address``."""
+        return address >> self._line_shift
+
+    def _set_index(self, line: int) -> int:
+        return line % self._num_sets
+
+    # -- operations -----------------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Access a byte address.  Returns ``True`` on hit.
+
+        On a miss, the line is filled and the LRU line of its set is
+        evicted if the set is full.
+        """
+        line = self.line_of(address)
+        cache_set = self._sets[self._set_index(line)]
+        self.stats.accesses += 1
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[line] = None
+        return False
+
+    def access_line(self, line: int) -> bool:
+        """Access by precomputed line number (hot path for the simulator)."""
+        cache_set = self._sets[line % self._num_sets]
+        self.stats.accesses += 1
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[line] = None
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        line = self.line_of(address)
+        return line in self._sets[self._set_index(line)]
+
+    def invalidate(self, address: Optional[int] = None) -> None:
+        """Invalidate one line (or the whole cache when ``address`` is None)."""
+        if address is None:
+            for cache_set in self._sets:
+                cache_set.clear()
+            return
+        line = self.line_of(address)
+        self._sets[self._set_index(line)].pop(line, None)
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(s) for s in self._sets)
+
+    def resident_line_set(self) -> set:
+        """The set of all resident line numbers (for replication analysis)."""
+        lines: set = set()
+        for cache_set in self._sets:
+            lines.update(cache_set.keys())
+        return lines
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self.invalidate()
+        self.stats.reset()

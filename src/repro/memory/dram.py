@@ -1,0 +1,60 @@
+"""Main-memory (DRAM) latency model.
+
+Table II models main memory as a 1 GiB store with a 50-100 cycle access
+latency.  The paper reports that DTexL does not change L2 misses and hence
+does not change DRAM traffic, so a detailed bank/row model is not load-
+bearing; we model the latency band deterministically.  Latency within the
+[min, max] band is derived from the line address (a cheap stand-in for
+row-buffer and bank effects) so repeated runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    """Access and traffic counters for main memory."""
+
+    accesses: int = 0
+    total_latency: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.total_latency = 0
+
+
+@dataclass
+class DRAM:
+    """Deterministic banded-latency DRAM model."""
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+    stats: DRAMStats = field(default_factory=DRAMStats)
+
+    def latency_for_line(self, line: int) -> int:
+        """Latency in cycles for a fill of cache line ``line``.
+
+        A multiplicative hash spreads lines across the [min, max] latency
+        band, emulating bank/row variation without random state.
+        """
+        band = self.config.max_latency - self.config.min_latency + 1
+        # Knuth multiplicative hash keeps neighbouring lines decorrelated.
+        jitter = ((line * 2654435761) >> 7) % band
+        return self.config.min_latency + jitter
+
+    def access_line(self, line: int) -> int:
+        """Record an access and return its latency in cycles."""
+        latency = self.latency_for_line(line)
+        self.stats.accesses += 1
+        self.stats.total_latency += latency
+        return latency
+
+    def reset(self) -> None:
+        self.stats.reset()

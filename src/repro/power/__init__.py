@@ -1,0 +1,5 @@
+"""GPU energy model (McPAT-substitute)."""
+
+from repro.power.energy_model import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["EnergyModel", "EnergyParams", "EnergyBreakdown"]

@@ -1,0 +1,49 @@
+"""The Blending Unit.
+
+"This unit computes the final color of pixels depending on the
+transparency of each quad, and stores them in the Color Buffer."
+Opaque quads replace; transparent quads alpha-blend over the stored
+color with a constant source alpha (the synthetic shaders carry no
+per-fragment alpha channel).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.raster.color_buffer import ColorBuffer
+
+#: Source alpha used for blended (transparent) draws.
+DEFAULT_BLEND_ALPHA = 0.5
+
+
+class BlendingUnit:
+    """Per-pixel color combination into the Color Buffer."""
+
+    def __init__(self, alpha: float = DEFAULT_BLEND_ALPHA):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be within [0, 1]")
+        self.alpha = alpha
+        self.pixels_blended = 0
+        self.pixels_written = 0
+
+    def emit(
+        self,
+        buffer: ColorBuffer,
+        px: int,
+        py: int,
+        color: Tuple[float, float, float],
+        blend: bool,
+    ) -> None:
+        """Write one shaded pixel into the tile's Color Buffer."""
+        if blend:
+            dst = buffer.read(px, py)
+            out = tuple(
+                self.alpha * c + (1.0 - self.alpha) * d
+                for c, d in zip(color, dst)
+            )
+            buffer.write(px, py, out)
+            self.pixels_blended += 1
+        else:
+            buffer.write(px, py, color)
+            self.pixels_written += 1

@@ -1,0 +1,107 @@
+"""The tile-sized, multi-banked Color Buffer and the frame buffer.
+
+The Color Buffer holds one tile's colors on chip and is flushed to the
+Frame Buffer in main memory once the tile completes.  It is partitioned
+into four banks; the Decoupled-Barrier architecture's first hardware
+change is per-bank flushing with a per-bank Tile ID (§III-E), which this
+class supports explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tile_order import TileCoord
+
+
+class ColorBuffer:
+    """On-chip color storage for one tile, with per-bank flush."""
+
+    def __init__(self, tile_size: int, num_banks: int = 4):
+        if tile_size <= 0 or tile_size % 2:
+            raise ValueError("tile_size must be a positive even number")
+        self.tile_size = tile_size
+        self.num_banks = num_banks
+        self.colors = np.zeros((tile_size, tile_size, 3), dtype=np.float64)
+        #: Decoupling hook: the tile each bank currently belongs to.
+        self.bank_tile_ids: Dict[int, Optional[TileCoord]] = {
+            b: None for b in range(num_banks)
+        }
+        self.flushes = 0
+        self.bank_flushes = 0
+
+    def clear(self, background: Tuple[float, float, float] = (0, 0, 0)) -> None:
+        self.colors[:] = background
+
+    def write(self, px: int, py: int, color: Tuple[float, float, float]) -> None:
+        """Store a final pixel color (within-tile coordinates)."""
+        self.colors[py, px] = color
+
+    def read(self, px: int, py: int) -> Tuple[float, float, float]:
+        return tuple(self.colors[py, px])
+
+    def flush_tile(
+        self, framebuffer: "FrameBuffer", tile: TileCoord
+    ) -> None:
+        """Baseline behaviour: flush the whole tile (all banks) at once."""
+        framebuffer.store_tile(tile, self.colors)
+        self.flushes += 1
+
+    def flush_bank(
+        self,
+        framebuffer: "FrameBuffer",
+        tile: TileCoord,
+        bank: int,
+        bank_mask: np.ndarray,
+    ) -> None:
+        """Decoupled behaviour: flush one bank's pixels of one tile.
+
+        ``bank_mask`` is a (tile_size, tile_size) boolean array marking
+        the pixels owned by ``bank`` — the subtile shape decided by the
+        quad grouping.
+        """
+        framebuffer.store_partial(tile, self.colors, bank_mask)
+        self.bank_tile_ids[bank] = tile
+        self.bank_flushes += 1
+
+
+class FrameBuffer:
+    """Full-frame color storage in (simulated) main memory."""
+
+    def __init__(self, width: int, height: int, tile_size: int):
+        self.width = width
+        self.height = height
+        self.tile_size = tile_size
+        self.image = np.zeros((height, width, 3), dtype=np.float64)
+
+    def _tile_region(self, tile: TileCoord) -> Tuple[slice, slice]:
+        x0 = tile[0] * self.tile_size
+        y0 = tile[1] * self.tile_size
+        return (
+            slice(y0, min(y0 + self.tile_size, self.height)),
+            slice(x0, min(x0 + self.tile_size, self.width)),
+        )
+
+    def store_tile(self, tile: TileCoord, colors: np.ndarray) -> None:
+        ys, xs = self._tile_region(tile)
+        h = ys.stop - ys.start
+        w = xs.stop - xs.start
+        self.image[ys, xs] = colors[:h, :w]
+
+    def store_partial(
+        self, tile: TileCoord, colors: np.ndarray, mask: np.ndarray
+    ) -> None:
+        ys, xs = self._tile_region(tile)
+        h = ys.stop - ys.start
+        w = xs.stop - xs.start
+        region = self.image[ys, xs]
+        clipped = mask[:h, :w]
+        region[clipped] = colors[:h, :w][clipped]
+
+    def to_ppm(self) -> bytes:
+        """Encode as a binary PPM image (for the examples)."""
+        clamped = np.clip(self.image * 255.0, 0, 255).astype(np.uint8)
+        header = f"P6 {self.width} {self.height} 255\n".encode()
+        return header + clamped.tobytes()

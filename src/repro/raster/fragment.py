@@ -1,0 +1,71 @@
+"""Fragment and quad records — the unit of scheduling and of the trace.
+
+"The fragments of every four adjacent pixels are grouped to form a
+*quad*"; quads are the threads/warps the scheduler distributes over the
+shader cores.  A :class:`Quad` captures everything the replay passes
+need: where it sits (tile + in-tile quad coordinates), what it costs
+(shader ALU cycles, texture sample count) and exactly which texture
+cache lines it touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.tile_order import TileCoord
+
+#: Pixel offsets within a quad, in (dx, dy) raster order.
+QUAD_PIXEL_OFFSETS = ((0, 0), (1, 0), (0, 1), (1, 1))
+
+
+@dataclass(frozen=True)
+class QuadKey:
+    """Identity of a quad location on screen."""
+
+    tile: TileCoord
+    qx: int
+    qy: int
+
+    def pixel_origin(self, tile_size: int) -> Tuple[int, int]:
+        """Screen coordinates of the quad's top-left pixel."""
+        return (
+            self.tile[0] * tile_size + self.qx * 2,
+            self.tile[1] * tile_size + self.qy * 2,
+        )
+
+
+@dataclass(frozen=True)
+class Quad:
+    """One shaded quad of the frame trace.
+
+    ``coverage`` flags which of the four pixels survived rasterization
+    and the Early-Z test; a quad only exists if at least one survived.
+    ``texture_lines`` is the ordered, de-duplicated tuple of texture
+    cache-line numbers its samples touch (all four lanes, including
+    helper lanes' contributions, as produced by the sampler).
+    """
+
+    tile: TileCoord
+    qx: int
+    qy: int
+    primitive_id: int
+    texture_id: int
+    coverage: Tuple[bool, bool, bool, bool]
+    alu_cycles: int
+    texture_lines: Tuple[int, ...]
+    lod: float = 0.0
+    blend: bool = False
+
+    @property
+    def covered_pixels(self) -> int:
+        return sum(self.coverage)
+
+    @property
+    def key(self) -> QuadKey:
+        return QuadKey(self.tile, self.qx, self.qy)
+
+    @property
+    def compute_cycles(self) -> int:
+        """Total SC issue cycles for this quad (ALU + texture issues)."""
+        return self.alu_cycles + len(self.texture_lines)

@@ -1,0 +1,64 @@
+"""Barycentric and perspective-correct attribute interpolation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.raster.setup import ScreenPrimitive
+
+
+def barycentric(
+    primitive: ScreenPrimitive, px: float, py: float
+) -> Tuple[float, float, float]:
+    """Normalized barycentric weights of point (px, py).
+
+    Weights sum to 1; points outside the triangle get weights outside
+    [0, 1] (extrapolation), which is exactly what helper lanes need.
+    """
+    a, b, c = primitive.vertices
+    area2 = primitive.area2
+    if area2 == 0.0:
+        raise ZeroDivisionError("degenerate primitive")
+    w0 = ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) / area2
+    w1 = ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) / area2
+    w2 = 1.0 - w0 - w1
+    return w0, w1, w2
+
+
+def interpolate_depth(
+    primitive: ScreenPrimitive, weights: Tuple[float, float, float]
+) -> float:
+    """Screen-space (linear) depth interpolation."""
+    a, b, c = primitive.vertices
+    w0, w1, w2 = weights
+    return w0 * a.z + w1 * b.z + w2 * c.z
+
+
+def interpolate_uv(
+    primitive: ScreenPrimitive, weights: Tuple[float, float, float]
+) -> Tuple[float, float]:
+    """Perspective-correct texture coordinates at the weighted point."""
+    a, b, c = primitive.vertices
+    w0, w1, w2 = weights
+    inv_w = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w
+    if inv_w == 0.0:
+        return (0.0, 0.0)
+    u = (w0 * a.u_over_w + w1 * b.u_over_w + w2 * c.u_over_w) / inv_w
+    v = (w0 * a.v_over_w + w1 * b.v_over_w + w2 * c.v_over_w) / inv_w
+    return (u, v)
+
+
+def interpolate_color(
+    primitive: ScreenPrimitive, weights: Tuple[float, float, float]
+) -> Tuple[float, float, float]:
+    """Perspective-correct vertex-color interpolation."""
+    a, b, c = primitive.vertices
+    w0, w1, w2 = weights
+    inv_w = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w
+    if inv_w == 0.0:
+        return (0.0, 0.0, 0.0)
+    return tuple(
+        (w0 * a.color_over_w[i] + w1 * b.color_over_w[i]
+         + w2 * c.color_over_w[i]) / inv_w
+        for i in range(3)
+    )

@@ -1,0 +1,393 @@
+"""The Rasterizer: primitives -> covered quads, through Early-Z.
+
+"The Rasterizer takes each primitive from the FIFO queue and identifies
+which pixels of the current tile are overlapped by the primitive...  The
+fragments of every four adjacent pixels are grouped to form a quad."
+
+The implementation is vectorized per (primitive, tile): barycentric
+weights, coverage, depth and perspective-correct UVs are evaluated with
+numpy over the primitive's quad-aligned bounding box inside the tile,
+then surviving 2x2 blocks are emitted as :class:`~repro.raster.fragment.Quad`
+records carrying their texture cache-line footprints.
+
+UV derivatives are taken across each quad's 2x2 lanes — including helper
+lanes outside the triangle — exactly as real GPU quads compute mip LOD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.core.tile_order import TileCoord
+from repro.raster.blending import BlendingUnit
+from repro.raster.color_buffer import ColorBuffer
+from repro.raster.fragment import QUAD_PIXEL_OFFSETS, Quad
+from repro.raster.setup import ScreenPrimitive
+from repro.raster.zbuffer import ZBuffer
+from repro.texture.sampler import FilterMode, Sampler, compute_lod
+from repro.texture.texture import Texture
+
+
+class Rasterizer:
+    """Rasterizes the primitives of one tile at a time."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        textures: Dict[int, Texture],
+        sampler: Optional[Sampler] = None,
+    ):
+        self.config = config
+        self.textures = textures
+        self.sampler = sampler or Sampler()
+        self.quads_emitted = 0
+        self.pixels_shaded = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def rasterize_tile(
+        self,
+        tile: TileCoord,
+        primitives: List[ScreenPrimitive],
+        zbuffer: ZBuffer,
+        color_buffer: Optional[ColorBuffer] = None,
+        blender: Optional[BlendingUnit] = None,
+    ) -> List[Quad]:
+        """Produce the tile's shaded-quad stream in primitive order.
+
+        ``zbuffer`` must be cleared by the caller before the first
+        primitive of the tile.  When ``color_buffer`` is given, final
+        pixel colors are also computed (image output mode).
+        """
+        quads: List[Quad] = []
+        for primitive in primitives:
+            quads.extend(
+                self._rasterize_primitive(
+                    tile, primitive, zbuffer, color_buffer, blender
+                )
+            )
+        return quads
+
+    # -- internals --------------------------------------------------------------
+
+    def _tile_clip_region(
+        self, tile: TileCoord, primitive: ScreenPrimitive
+    ) -> Optional[Tuple[int, int, int, int]]:
+        """Quad-aligned pixel rect of the primitive inside the tile.
+
+        Returns (x0, y0, x1, y1) in screen pixels, end-exclusive, snapped
+        outward to 2-pixel quad boundaries, or None when empty.
+        """
+        ts = self.config.tile_size
+        tile_x0, tile_y0 = tile[0] * ts, tile[1] * ts
+        tile_x1 = min(tile_x0 + ts, self.config.screen_width)
+        tile_y1 = min(tile_y0 + ts, self.config.screen_height)
+        min_x, min_y, max_x, max_y = primitive.bbox()
+        x0 = max(tile_x0, int(np.floor(min_x)))
+        y0 = max(tile_y0, int(np.floor(min_y)))
+        x1 = min(tile_x1, int(np.ceil(max_x)) + 1)
+        y1 = min(tile_y1, int(np.ceil(max_y)) + 1)
+        if x0 >= x1 or y0 >= y1:
+            return None
+        # Snap outward to the quad grid (anchored at the tile origin,
+        # which is always even).
+        x0 -= (x0 - tile_x0) % 2
+        y0 -= (y0 - tile_y0) % 2
+        x1 += (x1 - tile_x0) % 2
+        y1 += (y1 - tile_y0) % 2
+        x1 = min(x1, tile_x0 + ts)
+        y1 = min(y1, tile_y0 + ts)
+        return x0, y0, x1, y1
+
+    def _rasterize_primitive(
+        self,
+        tile: TileCoord,
+        primitive: ScreenPrimitive,
+        zbuffer: ZBuffer,
+        color_buffer: Optional[ColorBuffer],
+        blender: Optional[BlendingUnit],
+    ) -> List[Quad]:
+        region = self._tile_clip_region(tile, primitive)
+        if region is None or primitive.area2 == 0.0:
+            return []
+        x0, y0, x1, y1 = region
+        ts = self.config.tile_size
+        tile_x0, tile_y0 = tile[0] * ts, tile[1] * ts
+
+        # Pixel-centre grids.
+        xs = np.arange(x0, x1, dtype=np.float64) + 0.5
+        ys = np.arange(y0, y1, dtype=np.float64) + 0.5
+        px, py = np.meshgrid(xs, ys)
+
+        a, b, c = primitive.vertices
+        area2 = primitive.area2
+        w0 = ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) / area2
+        w1 = ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) / area2
+        w2 = 1.0 - w0 - w1
+        inside = (w0 >= 0.0) & (w1 >= 0.0) & (w2 >= 0.0)
+
+        # Clip to the actual screen (edge tiles may overhang).
+        if x1 > self.config.screen_width or y1 > self.config.screen_height:
+            inside &= px < self.config.screen_width
+            inside &= py < self.config.screen_height
+
+        if not inside.any():
+            return []
+
+        z = w0 * a.z + w1 * b.z + w2 * c.z
+        inside &= (z >= 0.0) & (z <= 1.0)
+        mode = primitive.primitive
+        tested = zbuffer.test_block(
+            x0 - tile_x0, y0 - tile_y0, z, inside,
+            depth_write=mode.depth_write,
+        )
+        if mode.late_z:
+            # Late-Z: the shader may change depth, so every covered
+            # fragment must be shaded; the depth test (already applied
+            # to the buffer above) only gates what reaches Blending.
+            passed = inside
+        else:
+            passed = tested
+        if not passed.any():
+            return []
+
+        # Perspective-correct attributes over the whole block (helper
+        # lanes included — they feed the LOD derivatives).
+        inv_w = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w
+        safe = np.where(inv_w == 0.0, 1.0, inv_w)
+        u = (w0 * a.u_over_w + w1 * b.u_over_w + w2 * c.u_over_w) / safe
+        v = (w0 * a.v_over_w + w1 * b.v_over_w + w2 * c.v_over_w) / safe
+
+        texture = self.textures.get(mode.texture_id)
+        return self._emit_quads(
+            tile, tile_x0, tile_y0, x0, y0, passed, tested, u, v,
+            texture, mode, color_buffer, blender, w0, w1,
+            primitive,
+        )
+
+    def _emit_quads(
+        self,
+        tile: TileCoord,
+        tile_x0: int,
+        tile_y0: int,
+        x0: int,
+        y0: int,
+        passed: np.ndarray,
+        visible: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        texture: Optional[Texture],
+        mode,
+        color_buffer: Optional[ColorBuffer],
+        blender: Optional[BlendingUnit],
+        w0: np.ndarray,
+        w1: np.ndarray,
+        primitive: ScreenPrimitive,
+    ) -> List[Quad]:
+        quads: List[Quad] = []
+        height, width = passed.shape
+        shader = mode.shader
+        covered_blocks = [
+            (bx, by)
+            for by in range(0, height, 2)
+            for bx in range(0, width, 2)
+            if passed[by : by + 2, bx : bx + 2].any()
+        ]
+        if not covered_blocks:
+            return quads
+        footprints = self._batch_footprints(
+            u, v, covered_blocks, texture, shader.texture_samples
+        )
+        for (bx, by), (lod, lines) in zip(covered_blocks, footprints):
+            block = passed[by : by + 2, bx : bx + 2]
+            coverage = tuple(
+                bool(block[dy, dx])
+                if dy < block.shape[0] and dx < block.shape[1] else False
+                for dx, dy in QUAD_PIXEL_OFFSETS
+            )
+            quad = Quad(
+                tile=tile,
+                qx=(x0 + bx - tile_x0) // 2,
+                qy=(y0 + by - tile_y0) // 2,
+                primitive_id=primitive.primitive_id,
+                texture_id=mode.texture_id,
+                coverage=coverage,
+                alu_cycles=shader.alu_cycles,
+                texture_lines=lines,
+                lod=lod,
+                blend=mode.blend,
+            )
+            quads.append(quad)
+            self.quads_emitted += 1
+            self.pixels_shaded += quad.covered_pixels
+            if color_buffer is not None and blender is not None:
+                # Only depth-test survivors reach Blending (matters
+                # for Late-Z, where shaded != visible).
+                visible_block = visible[by : by + 2, bx : bx + 2]
+                self._shade_pixels(
+                    tile_x0, tile_y0, x0, y0, bx, by, visible_block,
+                    u, v, lod, texture, mode, color_buffer, blender,
+                    w0, w1, primitive,
+                )
+        return quads
+
+    def _batch_footprints(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        blocks: List[Tuple[int, int]],
+        texture: Optional[Texture],
+        texture_samples: int,
+    ) -> List[Tuple[float, Tuple[int, ...]]]:
+        """Per-quad (lod, cache lines) for all covered blocks at once.
+
+        Bilinear sampling — the overwhelmingly common case — runs fully
+        vectorized; other filter modes fall back to the scalar
+        per-lane path, which is bit-identical.
+        """
+        if texture is None or texture_samples == 0:
+            return [(0.0, ())] * len(blocks)
+        if self.sampler.filter_mode is not FilterMode.BILINEAR:
+            return [
+                self._quad_texture_footprint(
+                    u, v, bx, by, texture, texture_samples
+                )
+                for bx, by in blocks
+            ]
+
+        height, width = u.shape
+        bxs = np.array([b[0] for b in blocks])
+        bys = np.array([b[1] for b in blocks])
+        x1 = np.minimum(bxs + 1, width - 1)
+        y1 = np.minimum(bys + 1, height - 1)
+
+        # Quad-level mip LOD from the 2x2 lanes (helper lanes included).
+        u00, v00 = u[bys, bxs], v[bys, bxs]
+        sx = np.hypot(
+            (u[bys, x1] - u00) * texture.width,
+            (v[bys, x1] - v00) * texture.height,
+        )
+        sy = np.hypot(
+            (u[y1, bxs] - u00) * texture.width,
+            (v[y1, bxs] - v00) * texture.height,
+        )
+        rho = np.maximum(np.maximum(sx, sy), 1e-12)
+        lods = np.maximum(0.0, np.log2(rho))
+        # The *sampled* level clamps to the mip chain; the reported LOD
+        # stays raw, matching the scalar path.
+        levels = np.minimum(lods, float(texture.max_lod)).astype(np.int64)
+
+        # The four lanes of each quad, in the scalar path's order.
+        lane_y = np.stack([bys, bys, y1, y1], axis=1)
+        lane_x = np.stack([bxs, x1, bxs, x1], axis=1)
+        lane_levels = np.broadcast_to(levels[:, None], lane_x.shape)
+
+        # lines[k, lane, sample, neighbour] in scalar visit order.
+        per_sample = []
+        for sample in range(texture_samples):
+            scale = float(sample + 1)
+            lane_u = u[lane_y, lane_x] * scale
+            lane_v = v[lane_y, lane_x] * scale
+            per_sample.append(
+                self.sampler.bilinear_lines_batch(
+                    texture, lane_u, lane_v, lane_levels
+                )
+            )
+        lines = np.stack(per_sample, axis=2)
+
+        out: List[Tuple[float, Tuple[int, ...]]] = []
+        for k in range(len(blocks)):
+            ordered = dict.fromkeys(lines[k].ravel().tolist())
+            out.append((float(lods[k]), tuple(ordered)))
+        return out
+
+    def _quad_texture_footprint(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        bx: int,
+        by: int,
+        texture: Optional[Texture],
+        texture_samples: int,
+    ) -> Tuple[float, Tuple[int, ...]]:
+        """LOD and ordered unique cache lines of one quad's samples."""
+        if texture is None or texture_samples == 0:
+            return 0.0, ()
+        height, width = u.shape
+        x1 = min(bx + 1, width - 1)
+        y1 = min(by + 1, height - 1)
+        du_dx = u[by, x1] - u[by, bx]
+        dv_dx = v[by, x1] - v[by, bx]
+        du_dy = u[y1, bx] - u[by, bx]
+        dv_dy = v[y1, bx] - v[by, bx]
+        lod = compute_lod(
+            du_dx, dv_dx, du_dy, dv_dy, texture.width, texture.height
+        )
+        lines: List[int] = []
+        seen = set()
+        for dy in (0, 1):
+            for dx in (0, 1):
+                iy, ix = min(by + dy, height - 1), min(bx + dx, width - 1)
+                for sample in range(texture_samples):
+                    scale = float(sample + 1)
+                    footprint = self.sampler.footprint(
+                        texture, u[iy, ix] * scale, v[iy, ix] * scale, lod
+                    )
+                    for line in footprint.lines:
+                        if line not in seen:
+                            seen.add(line)
+                            lines.append(line)
+        return lod, tuple(lines)
+
+    def _shade_pixels(
+        self,
+        tile_x0: int,
+        tile_y0: int,
+        x0: int,
+        y0: int,
+        bx: int,
+        by: int,
+        block: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        lod: float,
+        texture: Optional[Texture],
+        mode,
+        color_buffer: ColorBuffer,
+        blender: BlendingUnit,
+        w0: np.ndarray,
+        w1: np.ndarray,
+        primitive: ScreenPrimitive,
+    ) -> None:
+        """Compute and emit final colors for the covered pixels of a quad."""
+        a, b, c = primitive.vertices
+        for dy in range(block.shape[0]):
+            for dx in range(block.shape[1]):
+                if not block[dy, dx]:
+                    continue
+                iy, ix = by + dy, bx + dx
+                ww0, ww1 = w0[iy, ix], w1[iy, ix]
+                ww2 = 1.0 - ww0 - ww1
+                inv_w = ww0 * a.inv_w + ww1 * b.inv_w + ww2 * c.inv_w
+                if inv_w == 0.0:
+                    continue
+                vertex_color = tuple(
+                    (ww0 * a.color_over_w[i] + ww1 * b.color_over_w[i]
+                     + ww2 * c.color_over_w[i]) / inv_w
+                    for i in range(3)
+                )
+                if texture is not None:
+                    tex_color = self.sampler.sample_color(
+                        texture, u[iy, ix], v[iy, ix], lod
+                    )
+                    color = tuple(
+                        vertex_color[i] * tex_color[i] for i in range(3)
+                    )
+                else:
+                    color = vertex_color
+                px = x0 + ix - tile_x0
+                py = y0 + iy - tile_y0
+                blender.emit(color_buffer, px, py, color, mode.blend)

@@ -1,0 +1,110 @@
+"""Triangle setup: clip space -> screen space with perspective-ready
+attributes.
+
+After clipping, each primitive is converted once into a
+:class:`ScreenPrimitive`: screen-space vertex positions, depth in [0, 1],
+and attributes pre-divided by w so the rasterizer can interpolate them
+linearly in screen space and recover perspective-correct values per pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.primitive_assembly import Primitive
+from repro.geometry.transform import viewport_transform
+
+
+@dataclass(frozen=True)
+class ScreenVertex:
+    """A vertex in screen space with perspective-divided attributes."""
+
+    x: float
+    y: float
+    z: float          # depth in [0, 1]
+    inv_w: float      # 1/w — interpolates linearly in screen space
+    u_over_w: float
+    v_over_w: float
+    color_over_w: Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class ScreenPrimitive:
+    """A triangle ready for rasterization."""
+
+    primitive: Primitive
+    vertices: Tuple[ScreenVertex, ScreenVertex, ScreenVertex]
+    area2: float  # twice the signed screen-space area
+
+    @property
+    def primitive_id(self) -> int:
+        return self.primitive.primitive_id
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """Screen-space bounding box (min_x, min_y, max_x, max_y)."""
+        xs = [v.x for v in self.vertices]
+        ys = [v.y for v in self.vertices]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def overlaps_rect(
+        self, x0: float, y0: float, x1: float, y1: float
+    ) -> bool:
+        """Conservative triangle/rectangle overlap test.
+
+        Bounding-box rejection first, then each triangle edge tested
+        against the rectangle corners (a rectangle is outside the
+        triangle iff it is fully outside one edge half-plane).
+        """
+        min_x, min_y, max_x, max_y = self.bbox()
+        if max_x < x0 or min_x > x1 or max_y < y0 or min_y > y1:
+            return False
+        corners = ((x0, y0), (x1, y0), (x0, y1), (x1, y1))
+        verts = self.vertices
+        sign = 1.0 if self.area2 > 0 else -1.0
+        for i in range(3):
+            ax, ay = verts[i].x, verts[i].y
+            bx, by = verts[(i + 1) % 3].x, verts[(i + 1) % 3].y
+            ex, ey = bx - ax, by - ay
+            if all(
+                sign * (ex * (cy - ay) - ey * (cx - ax)) < 0.0
+                for cx, cy in corners
+            ):
+                return False
+        return True
+
+
+def setup_primitive(
+    primitive: Primitive, width: int, height: int
+) -> ScreenPrimitive:
+    """Perspective divide + viewport transform for one clipped primitive.
+
+    The caller must have near-clipped the primitive already (w > 0 for
+    all vertices).
+    """
+    screen_vertices = []
+    for vertex in primitive.vertices:
+        clip = vertex.clip_position
+        ndc = clip.perspective_divide()
+        screen = viewport_transform(ndc, width, height)
+        inv_w = 1.0 / clip.w
+        screen_vertices.append(
+            ScreenVertex(
+                x=screen.x,
+                y=screen.y,
+                z=screen.z,
+                inv_w=inv_w,
+                u_over_w=vertex.uv.x * inv_w,
+                v_over_w=vertex.uv.y * inv_w,
+                color_over_w=(
+                    vertex.color.x * inv_w,
+                    vertex.color.y * inv_w,
+                    vertex.color.z * inv_w,
+                ),
+            )
+        )
+    a, b, c = screen_vertices
+    area2 = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)
+    return ScreenPrimitive(
+        primitive=primitive, vertices=(a, b, c), area2=area2
+    )

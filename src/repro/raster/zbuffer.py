@@ -1,0 +1,69 @@
+"""The tile-sized, multi-banked Z-Buffer and the Early-Z test.
+
+"This stage uses a tile-sized buffer called the Z-Buffer to store the
+minimum depth of previously processed fragments on each tile's pixel
+coordinate in order to eliminate those that lie behind another previously
+processed opaque fragment."  The buffer is partitioned into four banks
+(one per parallel pipeline); banking is captured here only for statistics
+— functionally the test is per pixel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZBuffer:
+    """Depth buffer for one tile."""
+
+    def __init__(self, tile_size: int):
+        if tile_size <= 0 or tile_size % 2:
+            raise ValueError("tile_size must be a positive even number")
+        self.tile_size = tile_size
+        self.depth = np.full((tile_size, tile_size), np.inf, dtype=np.float64)
+        self.tests = 0
+        self.passes = 0
+
+    def clear(self) -> None:
+        """Reset for the next tile (depth to 'infinitely far')."""
+        self.depth.fill(np.inf)
+
+    def test_and_update(
+        self, px: int, py: int, z: float, depth_write: bool = True
+    ) -> bool:
+        """Early-Z for one fragment; returns True when it survives.
+
+        ``(px, py)`` are pixel coordinates within the tile.  A passing
+        fragment updates the stored depth when ``depth_write`` is set
+        (transparent geometry typically tests but does not write).
+        """
+        self.tests += 1
+        if z < self.depth[py, px]:
+            self.passes += 1
+            if depth_write:
+                self.depth[py, px] = z
+            return True
+        return False
+
+    def test_block(
+        self, x0: int, y0: int, z_block: np.ndarray,
+        mask: np.ndarray, depth_write: bool = True,
+    ) -> np.ndarray:
+        """Vectorized Early-Z over a rectangular block of the tile.
+
+        ``z_block`` and ``mask`` share a shape; the returned boolean
+        array marks fragments that were covered *and* passed the test.
+        """
+        h, w = z_block.shape
+        region = self.depth[y0 : y0 + h, x0 : x0 + w]
+        passed = mask & (z_block < region)
+        self.tests += int(mask.sum())
+        self.passes += int(passed.sum())
+        if depth_write:
+            np.minimum(region, np.where(passed, z_block, np.inf), out=region)
+        return passed
+
+    @property
+    def cull_rate(self) -> float:
+        """Fraction of tested fragments killed by Early-Z."""
+        return 1.0 - self.passes / self.tests if self.tests else 0.0

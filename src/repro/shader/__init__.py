@@ -1,0 +1,5 @@
+"""Shader-core execution model: warps (= quads) and multithreaded timing."""
+
+from repro.shader.shader_core import ShaderCore, SubtileExecution, WarpCost
+
+__all__ = ["ShaderCore", "SubtileExecution", "WarpCost"]

@@ -1,0 +1,17 @@
+"""Frame simulation: functional render (pass 1) and trace replay (pass 2).
+
+Pass 1 runs the real Graphics Pipeline once per workload and records a
+schedule-independent frame trace; pass 2 replays the trace under any
+DTexL design point — caches, timing and energy — which makes the
+evaluation sweeps cheap.
+"""
+
+from repro.sim.driver import FrameRenderer, FrameTrace, RenderStats, TileTraceEntry
+from repro.sim.replay import RunResult, TraceReplayer
+from repro.sim.experiment import ExperimentRunner, SuiteResult
+
+__all__ = [
+    "FrameRenderer", "FrameTrace", "RenderStats", "TileTraceEntry",
+    "TraceReplayer", "RunResult",
+    "ExperimentRunner", "SuiteResult",
+]

@@ -1,0 +1,170 @@
+"""Pass 1: the functional frame render that produces the trace.
+
+Runs the full Graphics Pipeline — Vertex Stage, Primitive Assembly,
+clipping, Polygon List Builder, and per-tile rasterization with Early-Z —
+and records a :class:`FrameTrace`: the per-tile shaded-quad streams plus
+the vertex and Parameter Buffer cache lines.
+
+Everything in the trace is independent of the quad schedule, the subtile
+assignment, the tile order and the barrier architecture: tiles are
+disjoint (so tile order cannot change Z results), Early-Z depends only on
+within-tile primitive order (fixed by the program), and quad-to-SC
+mapping does not alter which fragments survive.  That is what makes the
+two-pass split exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import GPUConfig
+from repro.core.tile_order import TileCoord, scanline_order
+from repro.geometry.clipping import clip_primitive
+from repro.geometry.primitive_assembly import PrimitiveAssembler
+from repro.geometry.vertex_stage import VertexStage
+from repro.raster.blending import BlendingUnit
+from repro.raster.color_buffer import ColorBuffer, FrameBuffer
+from repro.raster.fragment import Quad
+from repro.raster.rasterizer import Rasterizer
+from repro.raster.setup import setup_primitive
+from repro.raster.zbuffer import ZBuffer
+from repro.texture.sampler import Sampler
+from repro.tiling.polygon_list_builder import PolygonListBuilder
+from repro.tiling.tile_fetcher import TileFetcher
+from repro.workloads.recipe import BuiltWorkload
+
+LINE_BYTES = 64
+
+
+@dataclass
+class TileTraceEntry:
+    """One tile's replayable work."""
+
+    fetch_lines: List[int] = field(default_factory=list)
+    fetch_cycles: int = 1
+    quads: List[Quad] = field(default_factory=list)
+
+
+@dataclass
+class RenderStats:
+    """Summary statistics of the functional render."""
+
+    num_draws: int = 0
+    num_primitives: int = 0
+    num_clipped_primitives: int = 0
+    num_quads: int = 0
+    pixels_shaded: int = 0
+    z_cull_rate: float = 0.0
+    nonempty_tiles: int = 0
+
+    def overdraw_factor(self, config: GPUConfig) -> float:
+        """Shaded pixels per screen pixel (the depth-complexity proxy)."""
+        screen = config.screen_width * config.screen_height
+        return self.pixels_shaded / screen if screen else 0.0
+
+
+@dataclass
+class FrameTrace:
+    """Schedule-independent record of one rendered frame."""
+
+    config: GPUConfig
+    vertex_lines: List[int]
+    tiles: Dict[TileCoord, TileTraceEntry]
+    stats: RenderStats
+
+    @property
+    def total_quads(self) -> int:
+        return sum(len(t.quads) for t in self.tiles.values())
+
+    @property
+    def total_texture_lines(self) -> int:
+        return sum(
+            len(q.texture_lines)
+            for t in self.tiles.values() for q in t.quads
+        )
+
+
+class FrameRenderer:
+    """Runs pass 1 for one workload."""
+
+    def __init__(self, config: GPUConfig, sampler: Optional[Sampler] = None):
+        self.config = config
+        self.sampler = sampler or Sampler()
+
+    def render(
+        self, workload: BuiltWorkload, with_image: bool = False
+    ) -> Tuple[FrameTrace, Optional[FrameBuffer]]:
+        """Render one frame; returns the trace and (optionally) the image."""
+        scene = workload.scene
+        config = self.config
+        stats = RenderStats(num_draws=len(scene.draws))
+
+        # Geometry Pipeline.
+        vertex_stage = VertexStage(hierarchy=None)
+        assembler = PrimitiveAssembler()
+        vertex_lines: List[int] = []
+        screen_primitives = []
+        for draw in scene.draws:
+            for index in draw.mesh.indices:
+                vertex_lines.append(draw.mesh.vertex_address(index) // LINE_BYTES)
+            transformed = vertex_stage.run(
+                draw, scene.view_matrix, scene.projection_matrix
+            )
+            for primitive in assembler.assemble(draw, transformed):
+                stats.num_primitives += 1
+                for clipped in clip_primitive(primitive):
+                    stats.num_clipped_primitives += 1
+                    screen_primitives.append(
+                        setup_primitive(
+                            clipped, config.screen_width, config.screen_height
+                        )
+                    )
+
+        # Tiling Engine.
+        builder = PolygonListBuilder(config)
+        parameter_buffer = builder.build(screen_primitives)
+
+        # Raster Pipeline (functional), canonical scanline traversal.
+        rasterizer = Rasterizer(config, workload.textures, self.sampler)
+        zbuffer = ZBuffer(config.tile_size)
+        fetcher = TileFetcher(config, hierarchy=None)
+        framebuffer = (
+            FrameBuffer(config.screen_width, config.screen_height, config.tile_size)
+            if with_image else None
+        )
+        color_buffer = ColorBuffer(config.tile_size) if with_image else None
+        blender = BlendingUnit() if with_image else None
+
+        tiles: Dict[TileCoord, TileTraceEntry] = {}
+        for tile in scanline_order(config.tiles_x, config.tiles_y):
+            primitives = parameter_buffer.primitives_for_tile(tile)
+            entry = TileTraceEntry(
+                fetch_lines=TileFetcher.fetch_lines(
+                    parameter_buffer, tile, primitives
+                ),
+                fetch_cycles=fetcher.fetch_cycles(parameter_buffer, tile),
+            )
+            if primitives:
+                zbuffer.clear()
+                if color_buffer is not None:
+                    color_buffer.clear()
+                entry.quads = rasterizer.rasterize_tile(
+                    tile, primitives, zbuffer, color_buffer, blender
+                )
+                if framebuffer is not None and color_buffer is not None:
+                    color_buffer.flush_tile(framebuffer, tile)
+                if entry.quads:
+                    stats.nonempty_tiles += 1
+            tiles[tile] = entry
+
+        stats.num_quads = rasterizer.quads_emitted
+        stats.pixels_shaded = rasterizer.pixels_shaded
+        stats.z_cull_rate = zbuffer.cull_rate
+        trace = FrameTrace(
+            config=config,
+            vertex_lines=vertex_lines,
+            tiles=tiles,
+            stats=stats,
+        )
+        return trace, framebuffer

@@ -1,0 +1,102 @@
+"""Experiment orchestration: run design points over the benchmark suite.
+
+The expensive functional render (pass 1) is cached per game, so sweeping
+a dozen design points costs one render plus a dozen cheap replays per
+game — the same economy the paper gets from trace-driven simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import geometric_mean
+from repro.config import GPUConfig, TEST_CONFIG
+from repro.core.dtexl import BASELINE, DTexLConfig
+from repro.sim.driver import FrameRenderer, FrameTrace
+from repro.sim.replay import RunResult, TraceReplayer
+from repro.texture.sampler import Sampler
+from repro.workloads.games import GAMES, build_game
+
+
+@dataclass
+class SuiteResult:
+    """One design point's results over the whole suite."""
+
+    design_point: str
+    per_game: Dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def total_l2_accesses(self) -> int:
+        return sum(r.l2_accesses for r in self.per_game.values())
+
+    def mean_speedup_vs(self, baseline: "SuiteResult") -> float:
+        """Geometric-mean speedup over the suite against ``baseline``."""
+        ratios = [
+            baseline.per_game[g].frame_cycles / r.frame_cycles
+            for g, r in self.per_game.items()
+        ]
+        return geometric_mean(ratios)
+
+    def mean_l2_decrease_vs(self, baseline: "SuiteResult") -> float:
+        """Average percent decrease in L2 accesses vs ``baseline``."""
+        decreases = [
+            (baseline.per_game[g].l2_accesses - r.l2_accesses)
+            / baseline.per_game[g].l2_accesses * 100.0
+            for g, r in self.per_game.items()
+            if baseline.per_game[g].l2_accesses
+        ]
+        return sum(decreases) / len(decreases) if decreases else 0.0
+
+    def mean_energy_decrease_vs(self, baseline: "SuiteResult") -> float:
+        """Average percent decrease in total GPU energy vs ``baseline``."""
+        decreases = [
+            (baseline.per_game[g].energy.total_mj - r.energy.total_mj)
+            / baseline.per_game[g].energy.total_mj * 100.0
+            for g, r in self.per_game.items()
+            if baseline.per_game[g].energy.total_mj
+        ]
+        return sum(decreases) / len(decreases) if decreases else 0.0
+
+
+class ExperimentRunner:
+    """Caches traces and replays design points over the suite."""
+
+    def __init__(
+        self,
+        config: GPUConfig = TEST_CONFIG,
+        sampler: Optional[Sampler] = None,
+        games: Optional[Iterable[str]] = None,
+    ):
+        self.config = config
+        self.renderer = FrameRenderer(config, sampler)
+        self.replayer = TraceReplayer(config)
+        self.games: List[str] = list(games) if games is not None else list(GAMES)
+        self._traces: Dict[str, FrameTrace] = {}
+
+    # -- pass 1 cache -----------------------------------------------------------
+
+    def trace_for(self, alias: str) -> FrameTrace:
+        """Render (once) and return the frame trace of one game."""
+        if alias not in self._traces:
+            workload = build_game(alias, self.config)
+            trace, _ = self.renderer.render(workload)
+            self._traces[alias] = trace
+        return self._traces[alias]
+
+    # -- pass 2 -----------------------------------------------------------------
+
+    def run(self, alias: str, design: DTexLConfig) -> RunResult:
+        """Replay one game under one design point."""
+        return self.replayer.run(self.trace_for(alias), design)
+
+    def run_suite(self, design: DTexLConfig) -> SuiteResult:
+        """Replay every game of the suite under one design point."""
+        result = SuiteResult(design_point=design.name)
+        for alias in self.games:
+            result.per_game[alias] = self.run(alias, design)
+        return result
+
+    def run_baseline(self) -> SuiteResult:
+        """The paper's baseline: FG-xshift2, Z-order, coupled barriers."""
+        return self.run_suite(BASELINE)

@@ -1,0 +1,194 @@
+"""Pass 2: replay a frame trace under one DTexL design point.
+
+The replay walks the tiles in the design point's tile order, maps every
+quad to a shader core through the quad scheduler, drives the texture
+accesses through the private-L1/shared-L2 hierarchy, and feeds the
+resulting per-subtile costs to the coupled or decoupled pipeline timing
+model and the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import GPUConfig
+from repro.core.dtexl import DTexLConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.power.energy_model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.raster.pipeline import (
+    FrameTiming,
+    RasterPipelineModel,
+    SubtileWork,
+    TileWork,
+)
+from repro.sim.driver import FrameTrace, TileTraceEntry
+
+
+@dataclass
+class RunResult:
+    """Everything the experiments read out of one replay."""
+
+    design_point: str
+    l2_accesses: int
+    l2_misses: int
+    dram_accesses: int
+    l1_accesses: int
+    l1_misses: int
+    vertex_accesses: int
+    tile_accesses: int
+    total_quads: int
+    timing: FrameTiming
+    energy: EnergyBreakdown
+    #: Per traversal step, quads executed per SC (Figs 1, 12, 15).
+    per_tile_quad_counts: List[List[int]]
+    l1_replication_factor: float = 1.0
+    #: 64-byte lines streamed to the Frame Buffer by Color-Buffer flushes.
+    framebuffer_write_lines: int = 0
+
+    @property
+    def frame_cycles(self) -> int:
+        return self.timing.total_cycles
+
+    def fps(self, frequency_mhz: int) -> float:
+        return self.timing.fps(frequency_mhz)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+
+@dataclass(frozen=True)
+class _CounterSnapshot:
+    """Hierarchy counters at one instant, for per-frame deltas."""
+
+    l2_accesses: int
+    l2_misses: int
+    dram_accesses: int
+    l1_accesses: int
+    l1_misses: int
+    vertex_accesses: int
+    tile_accesses: int
+
+    @staticmethod
+    def of(hierarchy: MemoryHierarchy) -> "_CounterSnapshot":
+        l1 = hierarchy.texture_l1_stats()
+        return _CounterSnapshot(
+            l2_accesses=hierarchy.l2_accesses,
+            l2_misses=hierarchy.l2_misses,
+            dram_accesses=hierarchy.dram_accesses,
+            l1_accesses=l1.accesses,
+            l1_misses=l1.misses,
+            vertex_accesses=hierarchy.vertex_cache.stats.accesses,
+            tile_accesses=hierarchy.tile_cache.stats.accesses,
+        )
+
+
+class TraceReplayer:
+    """Replays traces under arbitrary design points."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        energy_params: Optional[EnergyParams] = None,
+    ):
+        self.config = config
+        self.energy_model = EnergyModel(energy_params or EnergyParams())
+
+    def run(
+        self,
+        trace: FrameTrace,
+        design: DTexLConfig,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ) -> RunResult:
+        """Replay ``trace`` under ``design``; returns the full result.
+
+        Passing an existing ``hierarchy`` replays the frame against warm
+        caches (multi-frame animation); all reported counters are deltas
+        for this frame only.
+        """
+        gpu = design.effective_gpu_config(self.config)
+        if hierarchy is None:
+            hierarchy = MemoryHierarchy(gpu)
+        before = _CounterSnapshot.of(hierarchy)
+        # The scheduler always reasons over 4 subtile slots; the
+        # upper-bound run folds them onto its single SC below.
+        scheduler = design.build_scheduler(self.config)
+        n_cores = gpu.num_shader_cores
+        l1_hit_latency = gpu.texture_cache.hit_latency
+        miss_overhead = gpu.shader.miss_overhead_cycles
+
+        for line in trace.vertex_lines:
+            hierarchy.vertex_access(line)
+
+        tile_works: List[TileWork] = []
+        per_tile_counts: List[List[int]] = []
+        total_quads = 0
+        for step, tile in enumerate(scheduler.tiles):
+            entry = trace.tiles.get(tile) or TileTraceEntry()
+            for line in entry.fetch_lines:
+                hierarchy.tile_access(line)
+            subtiles = [SubtileWork() for _ in range(n_cores)]
+            perm = scheduler.permutation_at(step)
+            slot_of = scheduler.slot_of
+            for quad in entry.quads:
+                core = perm[slot_of(quad.qx, quad.qy)] % n_cores
+                stall = 0
+                for line in quad.texture_lines:
+                    result = hierarchy.texture_access(core, line)
+                    if not result.l1_hit:
+                        stall += (
+                            result.latency - l1_hit_latency + miss_overhead
+                        )
+                subtiles[core].add_quad(quad.compute_cycles, stall)
+                total_quads += 1
+            tile_works.append(
+                TileWork(
+                    tile=tile,
+                    step=step,
+                    fetch_cycles=entry.fetch_cycles,
+                    subtiles=subtiles,
+                )
+            )
+            per_tile_counts.append([s.num_quads for s in subtiles])
+
+        replication = hierarchy.replication_factor()
+        pipeline = RasterPipelineModel(gpu, design.decoupled)
+        timing = pipeline.simulate(tile_works)
+
+        # Every tile's Color Buffer streams to the Frame Buffer once per
+        # frame (64 B lines, schedule-independent write traffic).
+        tile_bytes = (
+            self.config.tile_size ** 2 * self.config.color_bytes_per_pixel
+        )
+        fb_lines = len(tile_works) * -(-tile_bytes // 64)
+
+        after = _CounterSnapshot.of(hierarchy)
+        energy = self.energy_model.frame_energy(
+            l1_accesses=after.l1_accesses - before.l1_accesses,
+            l2_accesses=after.l2_accesses - before.l2_accesses,
+            dram_accesses=after.dram_accesses - before.dram_accesses,
+            vertex_accesses=after.vertex_accesses - before.vertex_accesses,
+            tile_accesses=after.tile_accesses - before.tile_accesses,
+            sc_issue_cycles=sum(timing.sc_issue_cycles),
+            quads_processed=total_quads,
+            frame_cycles=timing.total_cycles,
+            frequency_mhz=gpu.frequency_mhz,
+            framebuffer_write_lines=fb_lines,
+        )
+        return RunResult(
+            design_point=design.name,
+            l2_accesses=after.l2_accesses - before.l2_accesses,
+            l2_misses=after.l2_misses - before.l2_misses,
+            dram_accesses=after.dram_accesses - before.dram_accesses,
+            l1_accesses=after.l1_accesses - before.l1_accesses,
+            l1_misses=after.l1_misses - before.l1_misses,
+            vertex_accesses=after.vertex_accesses - before.vertex_accesses,
+            tile_accesses=after.tile_accesses - before.tile_accesses,
+            total_quads=total_quads,
+            timing=timing,
+            energy=energy,
+            per_tile_quad_counts=per_tile_counts,
+            l1_replication_factor=replication,
+            framebuffer_write_lines=fb_lines,
+        )

@@ -1,0 +1,134 @@
+"""Design-space sweeps: evaluate a grid of DTexL design points.
+
+The paper's methodology is a sequence of sweeps (groupings, then orders,
+then assignments); :class:`DesignSweep` generalizes that: give it lists
+of knob values and it evaluates the cross product over the suite through
+a shared :class:`~repro.sim.experiment.ExperimentRunner`, producing flat
+result rows that can be printed or written to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.metrics import per_tile_imbalance
+from repro.core.dtexl import DTexLConfig
+from repro.sim.experiment import ExperimentRunner, SuiteResult
+
+#: Column order of sweep rows.
+ROW_FIELDS = [
+    "grouping", "assignment", "order", "decoupled",
+    "l2_accesses", "l2_normalized", "speedup",
+    "quad_imbalance", "energy_mj", "energy_decrease_pct",
+]
+
+
+@dataclass
+class SweepRow:
+    """One design point's aggregate results over the suite."""
+
+    grouping: str
+    assignment: str
+    order: str
+    decoupled: bool
+    l2_accesses: int
+    l2_normalized: float
+    speedup: float
+    quad_imbalance: float
+    energy_mj: float
+    energy_decrease_pct: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in ROW_FIELDS}
+
+
+@dataclass
+class DesignSweep:
+    """A grid over the DTexL design space."""
+
+    groupings: Sequence[str] = ("FG-xshift2", "CG-square")
+    assignments: Sequence[str] = ("const",)
+    orders: Sequence[str] = ("zorder",)
+    decoupled: Sequence[bool] = (False, True)
+    baseline: DTexLConfig = field(default_factory=lambda: DTexLConfig("baseline"))
+
+    def design_points(self) -> List[DTexLConfig]:
+        """The cross product, as named design points."""
+        points = []
+        for grouping, assignment, order, dec in product(
+            self.groupings, self.assignments, self.orders, self.decoupled
+        ):
+            arch = "dec" if dec else "cpl"
+            points.append(
+                DTexLConfig(
+                    name=f"{grouping}/{assignment}/{order}/{arch}",
+                    grouping=grouping,
+                    assignment=assignment,
+                    order=order,
+                    decoupled=dec,
+                )
+            )
+        return points
+
+    def run(self, runner: ExperimentRunner) -> List[SweepRow]:
+        """Evaluate every point; rows are ordered as the grid iterates."""
+        base = runner.run_suite(self.baseline)
+        rows: List[SweepRow] = []
+        for design in self.design_points():
+            suite = runner.run_suite(design)
+            rows.append(self._row(design, suite, base, runner.games))
+        return rows
+
+    @staticmethod
+    def _row(
+        design: DTexLConfig,
+        suite: SuiteResult,
+        base: SuiteResult,
+        games: Iterable[str],
+    ) -> SweepRow:
+        imbalances = [
+            per_tile_imbalance(suite.per_game[g].per_tile_quad_counts)
+            for g in games
+        ]
+        energy = sum(r.energy.total_mj for r in suite.per_game.values())
+        return SweepRow(
+            grouping=design.grouping,
+            assignment=design.assignment,
+            order=design.order,
+            decoupled=design.decoupled,
+            l2_accesses=suite.total_l2_accesses,
+            l2_normalized=(
+                suite.total_l2_accesses / base.total_l2_accesses
+                if base.total_l2_accesses else 0.0
+            ),
+            speedup=suite.mean_speedup_vs(base),
+            quad_imbalance=sum(imbalances) / len(imbalances),
+            energy_mj=energy,
+            energy_decrease_pct=suite.mean_energy_decrease_vs(base),
+        )
+
+
+def rows_to_csv(rows: Sequence[SweepRow]) -> str:
+    """Serialize sweep rows as CSV (header + one line per point)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=ROW_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row.as_dict())
+    return buffer.getvalue()
+
+
+def best_row(
+    rows: Sequence[SweepRow], objective: str = "speedup"
+) -> Optional[SweepRow]:
+    """The Pareto-naive winner by a single objective column."""
+    if not rows:
+        return None
+    if objective in ("l2_accesses", "l2_normalized", "quad_imbalance",
+                     "energy_mj"):
+        return min(rows, key=lambda r: getattr(r, objective))
+    return max(rows, key=lambda r: getattr(r, objective))

@@ -1,0 +1,22 @@
+"""Texture subsystem: mipmapped textures, addressing, and samplers.
+
+Textures are the dominant source of memory traffic in the modelled GPU
+("texture memory accesses make up the majority of the traffic to the
+memory hierarchy").  This package maps texture samples to the exact set
+of 64-byte cache lines they touch, which is what drives the L1/L2 cache
+simulation.
+"""
+
+from repro.texture.texture import Texture, TextureAllocator
+from repro.texture.addressing import morton_encode, morton_decode
+from repro.texture.sampler import FilterMode, Sampler, SampleFootprint
+
+__all__ = [
+    "Texture",
+    "TextureAllocator",
+    "morton_encode",
+    "morton_decode",
+    "FilterMode",
+    "Sampler",
+    "SampleFootprint",
+]

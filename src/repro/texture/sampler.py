@@ -1,0 +1,191 @@
+"""Texture samplers: nearest, bilinear, trilinear and anisotropic.
+
+The sampler's job in this simulator is to turn one texture sample
+(a UV coordinate plus a level-of-detail) into the set of cache lines
+it touches — the :class:`SampleFootprint`.  Filter choice changes how
+wide that footprint is and therefore how much reuse neighbouring quads
+see ("more so in trilinear and anisotropic filtering than in bilinear",
+paper §II-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple
+
+from repro.texture.texture import Texture
+
+
+class FilterMode(Enum):
+    """Supported texture filtering modes."""
+
+    NEAREST = "nearest"
+    BILINEAR = "bilinear"
+    TRILINEAR = "trilinear"
+    ANISOTROPIC = "anisotropic"
+
+
+@dataclass(frozen=True)
+class SampleFootprint:
+    """The memory touched by one texture sample."""
+
+    texture_id: int
+    lines: Tuple[int, ...]
+    texel_count: int
+
+    @property
+    def line_count(self) -> int:
+        return len(self.lines)
+
+
+def compute_lod(
+    du_dx: float, dv_dx: float, du_dy: float, dv_dy: float,
+    width: int, height: int,
+) -> float:
+    """Mip level of detail from UV screen-space derivatives.
+
+    Standard GL formula: log2 of the longest screen-space texel stride.
+    """
+    sx = math.hypot(du_dx * width, dv_dx * height)
+    sy = math.hypot(du_dy * width, dv_dy * height)
+    rho = max(sx, sy, 1e-12)
+    return max(0.0, math.log2(rho))
+
+
+class Sampler:
+    """Computes sample footprints (and procedural colors) for a texture."""
+
+    def __init__(
+        self,
+        filter_mode: FilterMode = FilterMode.BILINEAR,
+        max_anisotropy: int = 4,
+    ):
+        if max_anisotropy < 1:
+            raise ValueError("max_anisotropy must be >= 1")
+        self.filter_mode = filter_mode
+        self.max_anisotropy = max_anisotropy
+
+    # -- footprint construction ------------------------------------------------
+
+    def _bilinear_texels(
+        self, texture: Texture, u: float, v: float, lod: int
+    ) -> List[Tuple[int, int]]:
+        """The 2x2 texel neighbourhood of (u, v) at integer ``lod``."""
+        mip = texture.level(lod)
+        # Texel centres are at half-integer coordinates.
+        tx = u * mip.width - 0.5
+        ty = v * mip.height - 0.5
+        x0, y0 = math.floor(tx), math.floor(ty)
+        return [
+            texture.wrap(x0 + dx, y0 + dy, lod)
+            for dy in (0, 1) for dx in (0, 1)
+        ]
+
+    def footprint(
+        self, texture: Texture, u: float, v: float, lod: float = 0.0
+    ) -> SampleFootprint:
+        """Cache lines touched by sampling ``texture`` at (u, v, lod)."""
+        texels: List[Tuple[int, int, int]] = []  # (x, y, level)
+        lod = min(max(lod, 0.0), float(texture.max_lod))
+        base_level = int(lod)
+
+        if self.filter_mode is FilterMode.NEAREST:
+            mip = texture.level(base_level)
+            x, y = texture.wrap(
+                int(u * mip.width), int(v * mip.height), base_level
+            )
+            texels.append((x, y, base_level))
+        elif self.filter_mode is FilterMode.BILINEAR:
+            for x, y in self._bilinear_texels(texture, u, v, base_level):
+                texels.append((x, y, base_level))
+        elif self.filter_mode is FilterMode.TRILINEAR:
+            levels = [base_level]
+            if lod > base_level and base_level < texture.max_lod:
+                levels.append(base_level + 1)
+            for level in levels:
+                for x, y in self._bilinear_texels(texture, u, v, level):
+                    texels.append((x, y, level))
+        elif self.filter_mode is FilterMode.ANISOTROPIC:
+            # N bilinear probes spread along u at a sharper mip level.
+            probes = self.max_anisotropy
+            level = max(0, base_level - int(math.log2(probes)))
+            mip = texture.level(level)
+            step = probes / (2.0 * mip.width)
+            for i in range(probes):
+                offset = (i - (probes - 1) / 2.0) * step
+                for x, y in self._bilinear_texels(
+                    texture, u + offset, v, level
+                ):
+                    texels.append((x, y, level))
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown filter mode {self.filter_mode}")
+
+        lines: List[int] = []
+        seen = set()
+        for x, y, level in texels:
+            line = texture.texel_line(x, y, level)
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
+        return SampleFootprint(
+            texture_id=texture.texture_id,
+            lines=tuple(lines),
+            texel_count=len(texels),
+        )
+
+    def bilinear_lines_batch(self, texture: Texture, u, v, level):
+        """Vectorized bilinear footprints: cache lines of many samples.
+
+        ``u``, ``v`` are float arrays of any shape and ``level`` an
+        equal-shaped pre-clamped integer mip level; returns an int64
+        array of shape ``u.shape + (4,)`` whose last axis holds the 2x2
+        neighbourhood's cache lines in the same order as
+        :meth:`footprint` visits them.  Only valid for BILINEAR mode.
+        """
+        import numpy as np
+
+        if self.filter_mode is not FilterMode.BILINEAR:
+            raise ValueError("batch path only supports bilinear filtering")
+        widths = np.array(
+            [m.width for m in texture.mip_levels], dtype=np.int64
+        )
+        heights = np.array(
+            [m.height for m in texture.mip_levels], dtype=np.int64
+        )
+        level = np.asarray(level, dtype=np.int64)
+        w = widths[level]
+        h = heights[level]
+        tx = np.asarray(u) * w - 0.5
+        ty = np.asarray(v) * h - 0.5
+        x0 = np.floor(tx).astype(np.int64)
+        y0 = np.floor(ty).astype(np.int64)
+        # Neighbour order matches the scalar path: (0,0),(1,0),(0,1),(1,1).
+        nx = np.stack([x0, x0 + 1, x0, x0 + 1], axis=-1)
+        ny = np.stack([y0, y0, y0 + 1, y0 + 1], axis=-1)
+        nlevel = np.broadcast_to(level[..., None], nx.shape)
+        return texture.texel_lines_array(nx, ny, nlevel)
+
+    # -- procedural filtering ----------------------------------------------------
+
+    def sample_color(
+        self, texture: Texture, u: float, v: float, lod: float = 0.0
+    ) -> Tuple[float, float, float]:
+        """Filtered procedural color in [0, 1]^3 (for image output only)."""
+        level = int(min(max(lod, 0.0), float(texture.max_lod)))
+        mip = texture.level(level)
+        tx = u * mip.width - 0.5
+        ty = v * mip.height - 0.5
+        x0, y0 = math.floor(tx), math.floor(ty)
+        fx, fy = tx - x0, ty - y0
+        acc = [0.0, 0.0, 0.0]
+        for dy, wy in ((0, 1.0 - fy), (1, fy)):
+            for dx, wx in ((0, 1.0 - fx), (1, fx)):
+                x, y = texture.wrap(x0 + dx, y0 + dy, level)
+                r, g, b = texture.texel_value(x, y, level)
+                w = wx * wy
+                acc[0] += r * w
+                acc[1] += g * w
+                acc[2] += b * w
+        return (acc[0] / 255.0, acc[1] / 255.0, acc[2] / 255.0)

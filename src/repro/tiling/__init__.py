@@ -1,0 +1,18 @@
+"""The Tiling Engine: Polygon List Builder, Parameter Buffer, Tile Fetcher.
+
+"The goal of the Polygon List Builder is to produce a list, for each tile
+of the screen, containing all the primitives that overlap it.  This data
+is arranged in a structure known as the Parameter Buffer."  The Tile
+Fetcher then replays those lists in a pluggable tile order.
+"""
+
+from repro.tiling.parameter_buffer import ParameterBuffer
+from repro.tiling.polygon_list_builder import PolygonListBuilder
+from repro.tiling.tile_fetcher import FetchedTile, TileFetcher
+
+__all__ = [
+    "ParameterBuffer",
+    "PolygonListBuilder",
+    "TileFetcher",
+    "FetchedTile",
+]

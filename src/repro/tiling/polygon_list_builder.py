@@ -1,0 +1,64 @@
+"""The Polygon List Builder: bins primitives into per-tile lists.
+
+Takes each screen-space primitive in program order and appends its ID to
+the list of every tile it overlaps.  Overlap uses an exact conservative
+triangle/rectangle test (bounding box + edge half-planes), so thin
+diagonal triangles do not pollute tiles they never touch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.config import GPUConfig
+from repro.raster.setup import ScreenPrimitive
+from repro.tiling.parameter_buffer import ParameterBuffer
+
+
+class PolygonListBuilder:
+    """Builds the Parameter Buffer for one frame."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.primitives_binned = 0
+        self.bin_entries = 0
+
+    def build(
+        self, primitives: Iterable[ScreenPrimitive]
+    ) -> ParameterBuffer:
+        """Bin all primitives (in program order) into a Parameter Buffer."""
+        buffer = ParameterBuffer()
+        sub_counter = {}
+        for screen_primitive in primitives:
+            pid = screen_primitive.primitive_id
+            sub = sub_counter.get(pid, 0)
+            sub_counter[pid] = sub + 1
+            buffer.primitives[(pid, sub)] = screen_primitive
+            self.primitives_binned += 1
+            for tile in self.overlapped_tiles(screen_primitive):
+                buffer.append_to_tile(tile, pid, sub)
+                self.bin_entries += 1
+        return buffer
+
+    def overlapped_tiles(
+        self, primitive: ScreenPrimitive
+    ) -> List[Tuple[int, int]]:
+        """All tile coordinates the primitive overlaps, row-major."""
+        tile = self.config.tile_size
+        min_x, min_y, max_x, max_y = primitive.bbox()
+        # Clamp the bbox to the screen before dividing into tiles.
+        tx0 = max(0, int(min_x) // tile)
+        ty0 = max(0, int(min_y) // tile)
+        tx1 = min(self.config.tiles_x - 1, int(max_x) // tile)
+        ty1 = min(self.config.tiles_y - 1, int(max_y) // tile)
+        if max_x < 0 or max_y < 0:
+            return []
+        if min_x >= self.config.screen_width or min_y >= self.config.screen_height:
+            return []
+        out: List[Tuple[int, int]] = []
+        for ty in range(ty0, ty1 + 1):
+            for tx in range(tx0, tx1 + 1):
+                x0, y0 = tx * tile, ty * tile
+                if primitive.overlaps_rect(x0, y0, x0 + tile, y0 + tile):
+                    out.append((tx, ty))
+        return out

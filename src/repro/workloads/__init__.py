@@ -1,0 +1,21 @@
+"""Synthetic workloads: the Table I benchmark suite, rebuilt procedurally.
+
+The paper drives its simulator with OpenGL ES traces of ten commercial
+Android games.  Those traces are unavailable, so each game is replaced by
+a procedural scene generator tuned to the published characteristics
+(Table I: 2D/3D, texture footprint) and the structural properties the
+paper's analysis relies on (overdraw clustered in horizontal bands,
+skewed per-region depth complexity, per-game texture-reuse variation).
+"""
+
+from repro.workloads.recipe import SceneRecipe, BuiltWorkload
+from repro.workloads.games import GAMES, GameSpec, build_game, game_aliases
+
+__all__ = [
+    "SceneRecipe",
+    "BuiltWorkload",
+    "GameSpec",
+    "GAMES",
+    "build_game",
+    "game_aliases",
+]

@@ -1,0 +1,104 @@
+"""Texture atlases (sprite sheets).
+
+Mobile games pack many small images into one large atlas texture and
+draw each sprite from a sub-rectangle.  For DTexL this matters: sprites
+that look unrelated on screen share one texture's address space, so the
+atlas *layout* decides whether two adjacent quads can ever share a cache
+line.  :class:`TextureAtlas` provides a deterministic grid layout with
+optional per-cell padding (the industry's bleed gutters), and
+:class:`SceneRecipe`-style scenes can draw from it via
+:meth:`TextureAtlas.uv_rect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.texture.texture import Texture
+
+
+@dataclass(frozen=True)
+class AtlasRegion:
+    """One packed sprite: its UV sub-rectangle within the atlas."""
+
+    index: int
+    u0: float
+    v0: float
+    u1: float
+    v1: float
+
+    def uv_rect(self) -> Tuple[float, float, float, float]:
+        return (self.u0, self.v0, self.u1, self.v1)
+
+    @property
+    def width(self) -> float:
+        return self.u1 - self.u0
+
+    @property
+    def height(self) -> float:
+        return self.v1 - self.v0
+
+
+class TextureAtlas:
+    """A grid-packed sprite sheet over one texture.
+
+    ``grid`` x ``grid`` equally sized cells; ``padding_texels`` shrinks
+    each region inward so bilinear taps never bleed across sprites.
+    """
+
+    def __init__(self, texture: Texture, grid: int = 4, padding_texels: int = 1):
+        if grid < 1:
+            raise ValueError("grid must be at least 1")
+        if padding_texels < 0:
+            raise ValueError("padding must be non-negative")
+        cell_w = texture.width / grid
+        cell_h = texture.height / grid
+        if padding_texels * 2 >= min(cell_w, cell_h):
+            raise ValueError("padding leaves no usable texels per cell")
+        self.texture = texture
+        self.grid = grid
+        self.padding_texels = padding_texels
+        self.regions: List[AtlasRegion] = []
+        pad_u = padding_texels / texture.width
+        pad_v = padding_texels / texture.height
+        for row in range(grid):
+            for col in range(grid):
+                self.regions.append(
+                    AtlasRegion(
+                        index=row * grid + col,
+                        u0=col / grid + pad_u,
+                        v0=row / grid + pad_v,
+                        u1=(col + 1) / grid - pad_u,
+                        v1=(row + 1) / grid - pad_v,
+                    )
+                )
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    def region(self, index: int) -> AtlasRegion:
+        """Region by index (wraps, so any sprite id maps to a cell)."""
+        return self.regions[index % len(self.regions)]
+
+    def uv_rect(self, index: int) -> Tuple[float, float, float, float]:
+        return self.region(index).uv_rect()
+
+    def regions_share_no_texels(self) -> bool:
+        """True when padding guarantees bilinear isolation of regions."""
+        return self.padding_texels >= 1
+
+    def region_footprint_lines(self, index: int, lod: int = 0) -> set:
+        """All cache lines a region's texels can occupy at ``lod``."""
+        region = self.region(index)
+        mip = self.texture.level(lod)
+        x0 = int(region.u0 * mip.width)
+        x1 = max(x0 + 1, int(region.u1 * mip.width))
+        y0 = int(region.v0 * mip.height)
+        y1 = max(y0 + 1, int(region.v1 * mip.height))
+        lines = set()
+        for y in range(y0, y1):
+            for x in range(x0, x1):
+                lines.add(self.texture.texel_line(x, y, lod))
+        return lines

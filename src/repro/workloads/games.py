@@ -1,0 +1,144 @@
+"""The benchmark suite: ten synthetic stand-ins for Table I's games.
+
+Each :class:`GameSpec` carries the published Table I metadata (alias,
+installs, genre, 2D/3D, texture footprint) and a
+:class:`~repro.workloads.recipe.SceneRecipe` whose knobs encode what the
+genre implies for DTexL's experiments: puzzle games blend heavily with
+moderate overdraw, runners have strong ground-plane LOD gradients,
+strategy maps have huge low-reuse textures, shooters tiny high-reuse
+ones, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import GPUConfig
+from repro.workloads.recipe import BuiltWorkload, SceneRecipe
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """One Table I row plus its synthetic recipe."""
+
+    alias: str
+    title: str
+    installs_millions: int
+    genre: str
+    scene_type: str  # "2D" | "3D"
+    texture_footprint_mib: float
+    recipe: SceneRecipe
+
+    def build(self, config: GPUConfig) -> BuiltWorkload:
+        return self.recipe.build(config)
+
+
+def _spec(
+    alias: str,
+    title: str,
+    installs: int,
+    genre: str,
+    scene_type: str,
+    footprint: float,
+    **recipe_kwargs,
+) -> GameSpec:
+    recipe = SceneRecipe(
+        name=alias,
+        seed=sum(ord(c) for c in alias) * 1000003,
+        is_3d=scene_type == "3D",
+        texture_budget_mib=footprint,
+        **recipe_kwargs,
+    )
+    return GameSpec(
+        alias=alias,
+        title=title,
+        installs_millions=installs,
+        genre=genre,
+        scene_type=scene_type,
+        texture_footprint_mib=footprint,
+        recipe=recipe,
+    )
+
+
+GAMES: Dict[str, GameSpec] = {
+    spec.alias: spec
+    for spec in [
+        _spec(
+            "CCS", "Candy Crush Saga", 1000, "Puzzle", "2D", 2.4,
+            depth_complexity=3.0, blend_fraction=0.6,
+            sprite_size=(0.06, 0.14), horizontal_clustering=0.3,
+            alu_cycles=(6, 14), uv_scale=(0.8, 1.5), max_textures=5,
+        ),
+        _spec(
+            "SoD", "Sonic Dash", 100, "Arcade", "3D", 1.4,
+            depth_complexity=2.5, blend_fraction=0.15,
+            sprite_size=(0.1, 0.35), horizontal_clustering=0.7,
+            alu_cycles=(10, 24), uv_scale=(0.5, 2.0), max_textures=4,
+        ),
+        _spec(
+            "TRu", "Temple Run", 500, "Arcade", "3D", 0.4,
+            depth_complexity=3.5, blend_fraction=0.1,
+            sprite_size=(0.12, 0.4), horizontal_clustering=0.8,
+            alu_cycles=(12, 30), uv_scale=(1.0, 3.0), max_textures=3,
+        ),
+        _spec(
+            "SWa", "Shoot Strike War Fire", 10, "Shooter", "3D", 0.2,
+            depth_complexity=2.0, blend_fraction=0.25,
+            sprite_size=(0.1, 0.3), horizontal_clustering=0.6,
+            alu_cycles=(10, 20), uv_scale=(1.0, 2.5), max_textures=3,
+        ),
+        _spec(
+            "CRa", "City Racing 3D", 50, "Racing", "3D", 2.8,
+            depth_complexity=2.8, blend_fraction=0.1,
+            sprite_size=(0.1, 0.45), horizontal_clustering=0.75,
+            alu_cycles=(12, 26), uv_scale=(0.4, 1.6), max_textures=5,
+        ),
+        _spec(
+            "RoK", "Rise of Kingdoms: Lost Crusade", 10, "Strategy", "2D", 6.8,
+            depth_complexity=2.2, blend_fraction=0.4,
+            sprite_size=(0.05, 0.2), horizontal_clustering=0.35,
+            alu_cycles=(6, 16), uv_scale=(0.3, 1.0), max_textures=6,
+        ),
+        _spec(
+            "DDS", "Derby Destruction Simulator", 10, "Racing", "3D", 1.4,
+            depth_complexity=2.6, blend_fraction=0.15,
+            sprite_size=(0.12, 0.4), horizontal_clustering=0.7,
+            alu_cycles=(14, 28), uv_scale=(0.5, 1.8), max_textures=4,
+        ),
+        _spec(
+            "Snp", "Sniper 3D", 500, "Shooter", "3D", 1.8,
+            depth_complexity=2.4, blend_fraction=0.3,
+            sprite_size=(0.08, 0.35), horizontal_clustering=0.55,
+            alu_cycles=(10, 22), uv_scale=(0.6, 2.0), max_textures=5,
+        ),
+        _spec(
+            "Mze", "3D Maze 2: Diamonds & Ghosts", 10, "Arcade", "3D", 2.4,
+            depth_complexity=4.0, blend_fraction=0.05,
+            sprite_size=(0.15, 0.5), horizontal_clustering=0.65,
+            alu_cycles=(8, 18), uv_scale=(0.8, 2.5), max_textures=4,
+        ),
+        _spec(
+            "GTr", "Gravitytetris", 5, "Puzzle", "3D", 0.7,
+            depth_complexity=2.0, blend_fraction=0.2,
+            sprite_size=(0.06, 0.16), horizontal_clustering=0.85,
+            alu_cycles=(8, 16), uv_scale=(1.0, 2.2), max_textures=3,
+        ),
+    ]
+}
+
+
+def game_aliases() -> List[str]:
+    """Suite aliases in Table I order."""
+    return list(GAMES)
+
+
+def build_game(alias: str, config: GPUConfig) -> BuiltWorkload:
+    """Build the named game's frame for ``config``."""
+    try:
+        spec = GAMES[alias]
+    except KeyError:
+        raise KeyError(
+            f"unknown game {alias!r}; choose from {game_aliases()}"
+        ) from None
+    return spec.build(config)

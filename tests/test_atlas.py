@@ -1,0 +1,74 @@
+"""Tests for texture atlases."""
+
+import pytest
+
+from repro.texture.texture import Texture
+from repro.workloads.atlas import TextureAtlas
+
+
+@pytest.fixture
+def texture():
+    return Texture(0, 256, 256, base_address=1 << 28)
+
+
+class TestLayout:
+    def test_region_count(self, texture):
+        atlas = TextureAtlas(texture, grid=4)
+        assert atlas.num_regions == 16
+
+    def test_regions_cover_unit_square_disjointly(self, texture):
+        atlas = TextureAtlas(texture, grid=4, padding_texels=0)
+        for a in atlas.regions:
+            for b in atlas.regions:
+                if a.index == b.index:
+                    continue
+                overlap_u = min(a.u1, b.u1) - max(a.u0, b.u0)
+                overlap_v = min(a.v1, b.v1) - max(a.v0, b.v0)
+                assert overlap_u <= 0 or overlap_v <= 0
+
+    def test_padding_shrinks_regions(self, texture):
+        tight = TextureAtlas(texture, grid=4, padding_texels=0).region(0)
+        padded = TextureAtlas(texture, grid=4, padding_texels=2).region(0)
+        assert padded.width < tight.width
+        assert padded.u0 > tight.u0
+
+    def test_region_wraps(self, texture):
+        atlas = TextureAtlas(texture, grid=2)
+        assert atlas.region(5).index == atlas.region(1).index
+
+    def test_uv_rect_in_unit_range(self, texture):
+        atlas = TextureAtlas(texture, grid=8, padding_texels=1)
+        for region in atlas.regions:
+            u0, v0, u1, v1 = region.uv_rect()
+            assert 0.0 <= u0 < u1 <= 1.0
+            assert 0.0 <= v0 < v1 <= 1.0
+
+    def test_rejects_bad_grid(self, texture):
+        with pytest.raises(ValueError):
+            TextureAtlas(texture, grid=0)
+
+    def test_rejects_excessive_padding(self, texture):
+        with pytest.raises(ValueError):
+            TextureAtlas(texture, grid=64, padding_texels=3)
+
+
+class TestCacheBehaviour:
+    def test_morton_keeps_regions_mostly_disjoint(self, texture):
+        """Grid cells aligned to Morton blocks share almost no lines."""
+        atlas = TextureAtlas(texture, grid=4, padding_texels=0)
+        a = atlas.region_footprint_lines(0)
+        b = atlas.region_footprint_lines(5)
+        assert not (a & b)
+
+    def test_neighbouring_regions_compact(self, texture):
+        """A region's texels occupy a contiguous-ish line range."""
+        atlas = TextureAtlas(texture, grid=4, padding_texels=0)
+        lines = atlas.region_footprint_lines(0)
+        # 64x64 texels * 4 B / 64 B = 256 lines exactly for cell (0, 0).
+        assert len(lines) == 256
+
+    def test_isolation_flag(self, texture):
+        assert TextureAtlas(texture, padding_texels=1).regions_share_no_texels()
+        assert not TextureAtlas(
+            texture, padding_texels=0
+        ).regions_share_no_texels()

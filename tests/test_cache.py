@@ -1,0 +1,185 @@
+"""Tests for the set-associative LRU cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache, CacheStats
+
+
+def make_cache(size=1024, line=64, ways=2) -> Cache:
+    return Cache(CacheConfig("test", size, line_bytes=line, associativity=ways))
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_same_line_different_bytes_hit(self):
+        cache = make_cache(line=64)
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_adjacent_line_misses(self):
+        cache = make_cache(line=64)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_access_line_equivalent_to_access(self):
+        a, b = make_cache(), make_cache()
+        addresses = [0, 64, 128, 0, 4096, 64]
+        results_a = [a.access(addr) for addr in addresses]
+        results_b = [b.access_line(addr // 64) for addr in addresses]
+        assert results_a == results_b
+
+    def test_line_of(self):
+        cache = make_cache(line=64)
+        assert cache.line_of(0) == 0
+        assert cache.line_of(63) == 0
+        assert cache.line_of(64) == 1
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            make_cache(size=960, line=48)
+
+
+class TestLRUReplacement:
+    def test_eviction_when_set_full(self):
+        # 1024B / 64B / 2-way = 8 sets; lines 0, 8, 16 map to set 0.
+        cache = make_cache(size=1024, line=64, ways=2)
+        cache.access_line(0)
+        cache.access_line(8)
+        cache.access_line(16)  # evicts line 0 (LRU)
+        assert cache.access_line(0) is False
+        assert cache.stats.evictions >= 1
+
+    def test_lru_order_updated_on_hit(self):
+        cache = make_cache(size=1024, line=64, ways=2)
+        cache.access_line(0)
+        cache.access_line(8)
+        cache.access_line(0)   # 0 becomes MRU
+        cache.access_line(16)  # evicts 8, not 0
+        assert cache.access_line(0) is True
+        assert cache.access_line(8) is False
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache(size=1024, line=64, ways=2)
+        for line in range(8):  # one line per set
+            cache.access_line(line)
+        assert all(cache.access_line(line) for line in range(8))
+
+    def test_capacity_respected(self):
+        cache = make_cache(size=1024, line=64, ways=2)
+        for line in range(100):
+            cache.access_line(line)
+        assert cache.resident_lines <= cache.config.num_lines
+
+
+class TestProbeAndInvalidate:
+    def test_probe_does_not_change_state(self):
+        cache = make_cache()
+        cache.access(0)
+        before = cache.stats.accesses
+        assert cache.probe(0) is True
+        assert cache.probe(4096) is False
+        assert cache.stats.accesses == before
+
+    def test_invalidate_single_line(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.invalidate(0)
+        assert cache.probe(0) is False
+
+    def test_invalidate_all(self):
+        cache = make_cache()
+        for line in range(5):
+            cache.access_line(line)
+        cache.invalidate()
+        assert cache.resident_lines == 0
+
+    def test_reset_clears_stats_and_contents(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines == 0
+
+
+class TestStats:
+    def test_counters_consistent(self):
+        cache = make_cache()
+        for addr in [0, 0, 64, 64, 128]:
+            cache.access(addr)
+        stats = cache.stats
+        assert stats.accesses == 5
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.hits == 2
+
+    def test_rates(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.hit_rate == pytest.approx(0.7)
+        assert stats.miss_rate == pytest.approx(0.3)
+
+    def test_rates_zero_when_untouched(self):
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(1, 1, 0, 0).merge(CacheStats(2, 0, 2, 1))
+        assert merged.accesses == 3
+        assert merged.hits == 1
+        assert merged.misses == 2
+        assert merged.evictions == 1
+
+    def test_resident_line_set(self):
+        cache = make_cache()
+        cache.access_line(3)
+        cache.access_line(11)
+        assert cache.resident_line_set() == {3, 11}
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_misses_at_least_unique_lines_capped(self, lines):
+        """Cold misses: every distinct line must miss at least once."""
+        cache = make_cache(size=1024, line=64, ways=2)
+        for line in lines:
+            cache.access_line(line)
+        assert cache.stats.misses >= len(set(lines)) - cache.config.num_lines
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stats_always_consistent(self, lines):
+        cache = make_cache()
+        for line in lines:
+            cache.access_line(line)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(lines)
+        assert stats.evictions <= stats.misses
+        assert cache.resident_lines <= cache.config.num_lines
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, line):
+        cache = make_cache()
+        cache.access_line(line)
+        assert cache.access_line(line) is True
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_working_set_within_one_way_never_evicts(self, lines):
+        """Distinct sets, single line each: no conflict, no eviction."""
+        cache = make_cache(size=1024, line=64, ways=2)  # 8 sets
+        for line in lines:
+            cache.access_line(line)
+        assert cache.stats.evictions == 0

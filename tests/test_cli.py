@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_replay_collects_designs(self):
+        args = build_parser().parse_args(
+            ["replay", "GTr", "-d", "baseline", "-d", "HLB-flp2"]
+        )
+        assert args.design == ["baseline", "HLB-flp2"]
+
+    def test_screen_parser_paper(self):
+        args = build_parser().parse_args(["replay", "GTr", "--screen", "paper"])
+        assert args.screen.screen_width == 1960
+
+    def test_screen_parser_custom(self):
+        args = build_parser().parse_args(["replay", "GTr", "--screen", "64x32"])
+        assert args.screen.screen_width == 64
+        assert args.screen.screen_height == 32
+
+    def test_rejects_unknown_game(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "NOPE"])
+
+    def test_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Candy Crush Saga" in out
+        assert "HLB-flp2" in out
+        assert "CG-square" in out
+
+    def test_schedule(self, capsys):
+        assert main(
+            ["schedule", "--screen", "128x64", "--tiles", "2",
+             "--grouping", "CG-yrect", "--order", "sorder"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CG-yrect" in out
+        assert "step 1" in out
+
+    def test_replay_table(self, capsys):
+        assert main(
+            ["replay", "SWa", "--screen", "128x64", "-d", "baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "L2 accesses" in out
+        assert "baseline" in out
+
+    def test_replay_json(self, capsys):
+        assert main(
+            ["replay", "SWa", "--screen", "128x64", "-d", "baseline",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["design_point"] == "baseline"
+
+    def test_replay_unknown_design_errors(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "SWa", "--screen", "128x64", "-d", "wat"])
+
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        output = tmp_path / "frame.ppm"
+        assert main(
+            ["render", "SWa", "--screen", "128x64", "-o", str(output)]
+        ) == 0
+        assert output.read_bytes().startswith(b"P6 128 64")
+
+    def test_suite_subset(self, capsys):
+        assert main(
+            ["suite", "--screen", "128x64", "--games", "SWa",
+             "-d", "baseline", "-d", "CG-square-coupled"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CG-square-coupled" in out
+
+
+class TestSweepAndAnimate:
+    def test_sweep_table(self, capsys):
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa",
+             "--grouping", "FG-xshift2", "CG-square",
+             "--both-architectures"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best by speedup" in out
+        assert "CG-square" in out
+
+    def test_sweep_csv(self, capsys):
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa",
+             "--grouping", "FG-xshift2", "--csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("grouping,assignment,order,decoupled")
+
+    def test_animate(self, capsys):
+        assert main(
+            ["animate", "SWa", "--screen", "128x64", "--frames", "2",
+             "-d", "baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "warm-up ratio" in out
+        assert "baseline" in out

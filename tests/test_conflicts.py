@@ -1,0 +1,85 @@
+"""Tests for the three-C miss decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.conflicts import decompose_misses
+from repro.config import CacheConfig
+
+
+def config(size=1024, ways=2):
+    return CacheConfig("t", size, line_bytes=64, associativity=ways)
+
+
+class TestDecomposition:
+    def test_all_cold(self):
+        result = decompose_misses(range(10), config())
+        assert result.cold == 10
+        assert result.capacity == 0
+        assert result.conflict == 0
+
+    def test_perfect_reuse_no_extra_misses(self):
+        stream = [1, 2, 3] * 10
+        result = decompose_misses(stream, config())
+        assert result.cold == 3
+        assert result.total_misses == 3
+
+    def test_capacity_misses_detected(self):
+        """A cyclic working set larger than the cache: every access
+        misses, and beyond cold they are capacity misses."""
+        lines = list(range(32))  # 32 lines > 16-line cache
+        stream = lines * 4
+        result = decompose_misses(stream, config(size=1024, ways=16))
+        assert result.cold == 32
+        assert result.capacity == 3 * 32
+        # 16-way over 1 set == fully associative: no conflicts possible.
+        assert result.conflict == 0
+
+    def test_conflict_misses_detected(self):
+        """Lines in one set, working set below total capacity: the
+        fully-associative reference hits, the real cache conflicts."""
+        cache = config(size=1024, ways=2)  # 8 sets, 16 lines
+        conflicting = [0, 8, 16]  # all map to set 0
+        stream = conflicting * 5
+        result = decompose_misses(stream, cache)
+        assert result.cold == 3
+        assert result.capacity == 0
+        assert result.conflict > 0
+
+    def test_empty_stream(self):
+        result = decompose_misses([], config())
+        assert result.accesses == 0
+        assert result.miss_rate == 0.0
+        assert result.fraction("cold") == 0.0
+
+    def test_fractions_sum_to_one(self):
+        stream = [0, 8, 16] * 5 + list(range(100))
+        result = decompose_misses(stream, config())
+        total = sum(
+            result.fraction(kind) for kind in ("cold", "capacity", "conflict")
+        )
+        assert total == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=60), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_consistent(self, stream):
+        result = decompose_misses(stream, config())
+        assert result.cold == len(set(stream))
+        assert result.capacity >= 0
+        assert result.conflict >= 0
+        assert result.total_misses <= len(stream)
+
+    def test_texture_stream_mostly_not_conflict_bound(
+        self, tiny_config, tiny_trace
+    ):
+        """The DTexL premise check: L1 texture misses are dominated by
+        cold + capacity, not by set conflicts."""
+        stream = [
+            line
+            for entry in tiny_trace.tiles.values()
+            for quad in entry.quads
+            for line in quad.texture_lines
+        ]
+        result = decompose_misses(stream, tiny_config.texture_cache)
+        assert result.fraction("conflict") < 0.35

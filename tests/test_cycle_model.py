@@ -1,0 +1,93 @@
+"""Tests for the cycle-level SC model and its agreement with the
+analytic model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ShaderConfig
+from repro.shader.cycle_model import CycleAccurateShaderCore
+from repro.shader.shader_core import ShaderCore, WarpCost
+
+
+def cycle_core(max_warps=4, issue_rate=1):
+    return CycleAccurateShaderCore(
+        ShaderConfig(max_warps=max_warps, issue_rate=issue_rate)
+    )
+
+
+def analytic_core(max_warps=4, issue_rate=1):
+    return ShaderCore(ShaderConfig(max_warps=max_warps, issue_rate=issue_rate))
+
+
+class TestCycleModelBasics:
+    def test_empty(self):
+        assert cycle_core().execute_subtile([]).total_cycles == 0
+
+    def test_single_compute_only_warp(self):
+        result = cycle_core().execute_subtile([WarpCost(10, 0)])
+        assert result.total_cycles == 10
+
+    def test_single_warp_exposes_full_stall(self):
+        result = cycle_core().execute_subtile([WarpCost(10, 30)])
+        assert result.total_cycles >= 40
+
+    def test_two_warps_overlap_stalls(self):
+        single = cycle_core(max_warps=1).execute_subtile(
+            [WarpCost(10, 30)] * 2
+        )
+        dual = cycle_core(max_warps=2).execute_subtile(
+            [WarpCost(10, 30)] * 2
+        )
+        assert dual.total_cycles < single.total_cycles
+
+    def test_compute_bound_at_high_occupancy(self):
+        """With many warps and small stalls, time approaches total compute."""
+        warps = [WarpCost(20, 4)] * 16
+        result = cycle_core(max_warps=8).execute_subtile(warps)
+        compute = 20 * 16
+        assert compute <= result.total_cycles <= compute * 1.2
+
+    def test_never_faster_than_compute(self):
+        warps = [WarpCost(3, 100)] * 8
+        result = cycle_core(max_warps=8).execute_subtile(warps)
+        assert result.total_cycles >= 24
+
+    def test_never_slower_than_serial(self):
+        warps = [WarpCost(5, 17), WarpCost(3, 8), WarpCost(9, 0)]
+        result = cycle_core(max_warps=2).execute_subtile(warps)
+        assert result.total_cycles <= 5 + 17 + 3 + 8 + 9 + 3  # + retire slack
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize("max_warps", [1, 2, 4, 8])
+    @pytest.mark.parametrize("stall", [0, 8, 40])
+    def test_uniform_warps_within_tolerance(self, max_warps, stall):
+        warps = [WarpCost(10, stall)] * 32
+        cycle = cycle_core(max_warps=max_warps).execute_subtile(warps)
+        analytic = analytic_core(max_warps=max_warps).execute_subtile(warps)
+        assert analytic.total_cycles == pytest.approx(
+            cycle.total_cycles, rel=0.35
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=40),
+                st.integers(min_value=0, max_value=120),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_models_agree_directionally(self, costs, max_warps):
+        """The analytic estimate stays within the same bounds the cycle
+        model obeys, and within 2x of it (it is a throughput model, not
+        a scheduler)."""
+        warps = [WarpCost(c, s) for c, s in costs]
+        cycle = cycle_core(max_warps=max_warps).execute_subtile(warps)
+        analytic = analytic_core(max_warps=max_warps).execute_subtile(warps)
+        assert analytic.total_cycles <= cycle.total_cycles * 2
+        assert cycle.total_cycles <= analytic.total_cycles * 2 + 8

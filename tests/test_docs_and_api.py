@@ -1,0 +1,75 @@
+"""Documentation and public-API hygiene tests."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def all_modules():
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module.name == "repro.__main__":  # importing it runs the CLI
+            continue
+        names.append(module.name)
+    return names
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/ARCHITECTURE.md"]
+    )
+    def test_document_present_and_substantial(self, name):
+        path = REPO / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 1000
+
+    def test_design_references_real_bench_files(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for line in text.splitlines():
+            if "benchmarks/test_" in line:
+                for token in line.split("`"):
+                    if token.startswith("benchmarks/test_"):
+                        assert (REPO / token).exists(), token
+
+    def test_readme_examples_exist(self):
+        text = (REPO / "README.md").read_text()
+        for line in text.splitlines():
+            if "`examples/" in line:
+                for token in line.split("`"):
+                    if token.startswith("examples/") and token.endswith(".py"):
+                        assert (REPO / token).exists(), token
+
+
+class TestModuleHygiene:
+    @pytest.mark.parametrize("name", all_modules())
+    def test_module_imports_and_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "package",
+        ["repro.core", "repro.memory", "repro.geometry", "repro.texture",
+         "repro.raster", "repro.tiling", "repro.shader", "repro.sim",
+         "repro.workloads", "repro.analysis", "repro.power"],
+    )
+    def test_package_all_resolves(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name}"
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        text = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in text

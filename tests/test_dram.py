@@ -1,0 +1,47 @@
+"""Tests for the DRAM latency model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DRAMConfig
+from repro.memory.dram import DRAM
+
+
+class TestLatencyBand:
+    @given(st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=100, deadline=None)
+    def test_latency_within_table2_band(self, line):
+        dram = DRAM()
+        latency = dram.latency_for_line(line)
+        assert 50 <= latency <= 100
+
+    def test_deterministic(self):
+        dram = DRAM()
+        assert dram.latency_for_line(1234) == dram.latency_for_line(1234)
+
+    def test_latencies_vary_across_lines(self):
+        dram = DRAM()
+        latencies = {dram.latency_for_line(line) for line in range(64)}
+        assert len(latencies) > 5
+
+    def test_custom_band(self):
+        dram = DRAM(DRAMConfig(min_latency=10, max_latency=10))
+        assert dram.latency_for_line(99) == 10
+
+
+class TestStats:
+    def test_access_accumulates(self):
+        dram = DRAM()
+        total = sum(dram.access_line(line) for line in range(10))
+        assert dram.stats.accesses == 10
+        assert dram.stats.total_latency == total
+        assert 50 <= dram.stats.mean_latency <= 100
+
+    def test_mean_latency_zero_when_idle(self):
+        assert DRAM().stats.mean_latency == 0.0
+
+    def test_reset(self):
+        dram = DRAM()
+        dram.access_line(5)
+        dram.reset()
+        assert dram.stats.accesses == 0

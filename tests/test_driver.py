@@ -1,0 +1,86 @@
+"""Tests for the functional frame renderer (pass 1) and its trace."""
+
+import pytest
+
+from repro.sim.driver import FrameRenderer
+from repro.texture.sampler import FilterMode, Sampler
+
+
+class TestTraceStructure:
+    def test_trace_covers_every_tile(self, tiny_config, tiny_trace):
+        assert len(tiny_trace.tiles) == tiny_config.num_tiles
+
+    def test_quads_keyed_by_their_tile(self, tiny_trace):
+        for tile, entry in tiny_trace.tiles.items():
+            for quad in entry.quads:
+                assert quad.tile == tile
+
+    def test_quad_coordinates_within_tile(self, tiny_config, tiny_trace):
+        side = tiny_config.quads_per_tile_side
+        for entry in tiny_trace.tiles.values():
+            for quad in entry.quads:
+                assert 0 <= quad.qx < side
+                assert 0 <= quad.qy < side
+
+    def test_every_quad_has_coverage(self, tiny_trace):
+        for entry in tiny_trace.tiles.values():
+            for quad in entry.quads:
+                assert quad.covered_pixels >= 1
+
+    def test_quads_ordered_by_primitive_within_tile(self, tiny_trace):
+        for entry in tiny_trace.tiles.values():
+            pids = [q.primitive_id for q in entry.quads]
+            assert pids == sorted(pids)
+
+    def test_totals_consistent(self, tiny_trace):
+        assert tiny_trace.total_quads == tiny_trace.stats.num_quads
+        assert tiny_trace.total_quads == sum(
+            len(e.quads) for e in tiny_trace.tiles.values()
+        )
+
+    def test_vertex_lines_present(self, tiny_trace, tiny_workload):
+        indices = sum(len(d.mesh.indices) for d in tiny_workload.scene.draws)
+        assert len(tiny_trace.vertex_lines) == indices
+
+    def test_fetch_cycles_positive(self, tiny_trace):
+        assert all(e.fetch_cycles >= 1 for e in tiny_trace.tiles.values())
+
+    def test_stats_overdraw_at_least_background(self, tiny_config, tiny_trace):
+        assert tiny_trace.stats.overdraw_factor(tiny_config) >= 0.9
+
+
+class TestDeterminism:
+    def test_same_workload_same_trace(self, tiny_config, tiny_workload):
+        a, _ = FrameRenderer(tiny_config).render(tiny_workload)
+        b, _ = FrameRenderer(tiny_config).render(tiny_workload)
+        assert a.total_quads == b.total_quads
+        assert a.total_texture_lines == b.total_texture_lines
+        assert a.vertex_lines == b.vertex_lines
+
+
+class TestImageOutput:
+    def test_with_image_produces_framebuffer(self, tiny_config, tiny_workload):
+        trace, framebuffer = FrameRenderer(tiny_config).render(
+            tiny_workload, with_image=True
+        )
+        assert framebuffer is not None
+        assert framebuffer.image.shape == (
+            tiny_config.screen_height, tiny_config.screen_width, 3
+        )
+        assert framebuffer.image.max() > 0.0
+
+    def test_without_image_skips_framebuffer(self, tiny_config, tiny_workload):
+        _, framebuffer = FrameRenderer(tiny_config).render(tiny_workload)
+        assert framebuffer is None
+
+
+class TestSamplerChoice:
+    def test_trilinear_touches_more_lines(self, tiny_config, tiny_workload):
+        bilinear, _ = FrameRenderer(
+            tiny_config, Sampler(FilterMode.BILINEAR)
+        ).render(tiny_workload)
+        trilinear, _ = FrameRenderer(
+            tiny_config, Sampler(FilterMode.TRILINEAR)
+        ).render(tiny_workload)
+        assert trilinear.total_texture_lines >= bilinear.total_texture_lines
+        assert trilinear.total_quads == bilinear.total_quads

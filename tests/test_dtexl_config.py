@@ -1,0 +1,69 @@
+"""Tests for the named DTexL design points."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dtexl import (
+    BASELINE,
+    DTEXL_BEST,
+    FIG8_MAPPING_NAMES,
+    PAPER_CONFIGURATIONS,
+    DTexLConfig,
+)
+
+
+class TestRegistry:
+    def test_baseline_matches_paper(self):
+        assert BASELINE.grouping == "FG-xshift2"
+        assert BASELINE.order == "zorder"
+        assert BASELINE.decoupled is False
+
+    def test_dtexl_best_matches_paper(self):
+        assert DTEXL_BEST.grouping == "CG-square"
+        assert DTEXL_BEST.assignment == "flp2"
+        assert DTEXL_BEST.order == "hilbert"
+        assert DTEXL_BEST.decoupled is True
+
+    def test_all_fig8_mappings_registered(self):
+        for name in FIG8_MAPPING_NAMES:
+            assert name in PAPER_CONFIGURATIONS
+
+    def test_fig8_mappings_are_decoupled_coarse(self):
+        for name in FIG8_MAPPING_NAMES:
+            cfg = PAPER_CONFIGURATIONS[name]
+            assert cfg.decoupled
+            assert cfg.grouping.startswith("CG-")
+
+    def test_sorder_rows_use_yrect(self):
+        assert PAPER_CONFIGURATIONS["Sorder-const"].grouping == "CG-yrect"
+        assert PAPER_CONFIGURATIONS["Sorder-flp"].grouping == "CG-yrect"
+
+    def test_upper_bound_flag(self):
+        assert PAPER_CONFIGURATIONS["upper-bound"].upper_bound
+
+
+class TestBuilding:
+    def test_build_scheduler(self):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        scheduler = DTEXL_BEST.build_scheduler(config)
+        assert scheduler.num_steps == config.num_tiles
+
+    def test_effective_config_passthrough(self):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        assert BASELINE.effective_gpu_config(config) is config
+
+    def test_effective_config_upper_bound(self):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        ub = PAPER_CONFIGURATIONS["upper-bound"].effective_gpu_config(config)
+        assert ub.num_shader_cores == 1
+        assert ub.texture_cache.size_bytes == 4 * config.texture_cache.size_bytes
+
+    def test_resolvers(self):
+        assert DTEXL_BEST.resolve_grouping().name == "CG-square"
+        assert DTEXL_BEST.resolve_assignment().name == "flp2"
+
+    def test_unknown_grouping_fails_at_build(self):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        bad = DTexLConfig(name="bad", grouping="CG-pentagon")
+        with pytest.raises(KeyError):
+            bad.build_scheduler(config)

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts (the fast ones run for real)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py", "render_frame.py", "design_space_explorer.py",
+            "decoupled_pipeline_demo.py", "suite_evaluation.py",
+            "animation_study.py", "cache_analysis.py",
+        } <= names
+
+    def test_all_examples_compile(self):
+        import py_compile
+
+        for path in EXAMPLES.glob("*.py"):
+            py_compile.compile(str(path), doraise=True)
+
+    def test_decoupled_pipeline_demo_runs(self):
+        result = run_example("decoupled_pipeline_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "rotating hot subtile" in result.stdout
+        assert "Decoupled-Barrier" in result.stdout
+
+    def test_animation_study_runs_small(self):
+        result = run_example("animation_study.py", "SWa", "2")
+        assert result.returncode == 0, result.stderr
+        assert "warm-up ratio" in result.stdout
+
+    def test_design_space_explorer_runs_small(self):
+        result = run_example("design_space_explorer.py", "SWa", "128x64")
+        assert result.returncode == 0, result.stderr
+        assert "Sweep 3" in result.stdout

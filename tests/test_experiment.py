@@ -1,0 +1,56 @@
+"""Tests for the experiment runner and suite aggregation."""
+
+import pytest
+
+from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS
+from repro.sim.experiment import ExperimentRunner, SuiteResult
+
+
+@pytest.fixture(scope="module")
+def runner(tiny_config):
+    return ExperimentRunner(tiny_config, games=["GTr", "SWa"])
+
+
+class TestTraceCache:
+    def test_trace_rendered_once(self, runner):
+        a = runner.trace_for("GTr")
+        b = runner.trace_for("GTr")
+        assert a is b
+
+    def test_run_uses_cached_trace(self, runner):
+        runner.run("GTr", BASELINE)
+        assert "GTr" in runner._traces
+
+
+class TestSuite:
+    def test_run_suite_covers_selected_games(self, runner):
+        result = runner.run_suite(BASELINE)
+        assert set(result.per_game) == {"GTr", "SWa"}
+        assert result.design_point == "baseline"
+
+    def test_total_l2(self, runner):
+        result = runner.run_suite(BASELINE)
+        assert result.total_l2_accesses == sum(
+            r.l2_accesses for r in result.per_game.values()
+        )
+
+    def test_speedup_vs_self_is_one(self, runner):
+        base = runner.run_suite(BASELINE)
+        assert base.mean_speedup_vs(base) == pytest.approx(1.0)
+
+    def test_l2_decrease_vs_self_is_zero(self, runner):
+        base = runner.run_suite(BASELINE)
+        assert base.mean_l2_decrease_vs(base) == pytest.approx(0.0)
+
+    def test_energy_decrease_vs_self_is_zero(self, runner):
+        base = runner.run_suite(BASELINE)
+        assert base.mean_energy_decrease_vs(base) == pytest.approx(0.0)
+
+    def test_cg_suite_beats_baseline_l2(self, runner):
+        base = runner.run_suite(BASELINE)
+        cg = runner.run_suite(PAPER_CONFIGURATIONS["CG-square-coupled"])
+        assert cg.mean_l2_decrease_vs(base) > 10.0
+
+    def test_default_games_are_the_full_suite(self, tiny_config):
+        full = ExperimentRunner(tiny_config)
+        assert len(full.games) == 10

@@ -1,0 +1,148 @@
+"""Tests for the vectorized texture addressing / sampling fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.texture.addressing import morton_encode, morton_encode_array
+from repro.texture.sampler import FilterMode, Sampler
+from repro.texture.texture import Texture
+
+
+@pytest.fixture
+def texture():
+    return Texture(0, 128, 64, base_address=1 << 28)
+
+
+class TestMortonArray:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**15),
+                st.integers(min_value=0, max_value=2**15),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar(self, points):
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        batch = morton_encode_array(xs, ys)
+        for i, (x, y) in enumerate(points):
+            assert int(batch[i]) == morton_encode(x, y)
+
+    def test_preserves_shape(self):
+        xs = np.zeros((3, 4, 2), dtype=np.int64)
+        assert morton_encode_array(xs, xs).shape == (3, 4, 2)
+
+
+class TestTexelLinesArray:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-200, max_value=400),
+                st.integers(min_value=-200, max_value=400),
+                st.integers(min_value=0, max_value=7),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_with_wrapping(self, points):
+        texture = Texture(0, 128, 64, base_address=1 << 28)
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        levels = np.array([min(p[2], texture.max_lod) for p in points])
+        batch = texture.texel_lines_array(xs, ys, levels)
+        for i, (x, y, lod) in enumerate(points):
+            lod = min(lod, texture.max_lod)
+            assert int(batch[i]) == texture.texel_line(x, y, lod)
+
+    def test_tall_texture(self):
+        texture = Texture(0, 16, 128, base_address=1 << 28)
+        xs = np.arange(16)
+        ys = np.arange(16) * 7 % 128
+        levels = np.zeros(16, dtype=np.int64)
+        batch = texture.texel_lines_array(xs, ys, levels)
+        for i in range(16):
+            assert int(batch[i]) == texture.texel_line(int(xs[i]), int(ys[i]), 0)
+
+
+class TestBilinearBatch:
+    def test_matches_scalar_footprint(self, texture):
+        sampler = Sampler(FilterMode.BILINEAR)
+        rng = np.random.default_rng(3)
+        u = rng.random((5, 7))
+        v = rng.random((5, 7))
+        level = rng.integers(0, texture.max_lod + 1, size=(5, 7))
+        batch = sampler.bilinear_lines_batch(texture, u, v, level)
+        assert batch.shape == (5, 7, 4)
+        for i in range(5):
+            for j in range(7):
+                scalar = sampler.footprint(
+                    texture, u[i, j], v[i, j], float(level[i, j])
+                )
+                assert set(batch[i, j].tolist()) == set(scalar.lines)
+
+    def test_rejects_non_bilinear(self, texture):
+        sampler = Sampler(FilterMode.TRILINEAR)
+        with pytest.raises(ValueError):
+            sampler.bilinear_lines_batch(
+                texture, np.zeros(1), np.zeros(1), np.zeros(1, dtype=int)
+            )
+
+
+class TestRasterizerFastPath:
+    def test_batch_equals_scalar_end_to_end(self):
+        """The whole-frame trace must be bit-identical either way."""
+        from repro.config import GPUConfig
+        from repro.raster import rasterizer as rmod
+        from repro.sim.driver import FrameRenderer
+        from repro.workloads.recipe import SceneRecipe
+
+        config = GPUConfig(screen_width=128, screen_height=64)
+        recipe = SceneRecipe(
+            name="fastpath", seed=21, is_3d=True, texture_budget_mib=0.3,
+            depth_complexity=1.5,
+        )
+        workload = recipe.build(config)
+        fast, _ = FrameRenderer(config).render(workload)
+
+        original = rmod.Rasterizer._batch_footprints
+        rmod.Rasterizer._batch_footprints = (
+            lambda self, u, v, blocks, texture, samples: [
+                self._quad_texture_footprint(u, v, bx, by, texture, samples)
+                for bx, by in blocks
+            ]
+        )
+        try:
+            scalar, _ = FrameRenderer(config).render(workload)
+        finally:
+            rmod.Rasterizer._batch_footprints = original
+
+        assert fast.total_quads == scalar.total_quads
+        for tile in fast.tiles:
+            for a, b in zip(fast.tiles[tile].quads, scalar.tiles[tile].quads):
+                assert a.texture_lines == b.texture_lines
+                assert a.lod == pytest.approx(b.lod)
+
+    def test_trilinear_still_works(self):
+        """Non-bilinear modes use the scalar fallback transparently."""
+        from repro.config import GPUConfig
+        from repro.sim.driver import FrameRenderer
+        from repro.workloads.recipe import SceneRecipe
+
+        config = GPUConfig(screen_width=64, screen_height=64)
+        recipe = SceneRecipe(
+            name="tri", seed=5, is_3d=False, texture_budget_mib=0.2,
+            depth_complexity=1.0,
+        )
+        trace, _ = FrameRenderer(
+            config, Sampler(FilterMode.TRILINEAR)
+        ).render(recipe.build(config))
+        assert trace.total_quads > 0
+        assert trace.total_texture_lines > 0

@@ -1,0 +1,131 @@
+"""Tests for the texture/vertex/tile + L2 + DRAM memory hierarchy."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.memory.hierarchy import MemoryHierarchy, ServiceLevel
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(GPUConfig(screen_width=128, screen_height=64))
+
+
+class TestTextureAccessPath:
+    def test_cold_access_goes_to_dram(self, hierarchy):
+        result = hierarchy.texture_access(0, 100)
+        assert result.level is ServiceLevel.DRAM
+        assert not result.l1_hit
+
+    def test_warm_access_hits_l1(self, hierarchy):
+        hierarchy.texture_access(0, 100)
+        result = hierarchy.texture_access(0, 100)
+        assert result.level is ServiceLevel.L1
+        assert result.latency == hierarchy.config.texture_cache.hit_latency
+
+    def test_l1s_are_private_per_core(self, hierarchy):
+        hierarchy.texture_access(0, 100)
+        result = hierarchy.texture_access(1, 100)
+        # Other core's L1 misses, but the shared L2 now holds the line.
+        assert result.level is ServiceLevel.L2
+
+    def test_l2_shared_across_cores(self, hierarchy):
+        hierarchy.texture_access(0, 100)
+        before = hierarchy.dram_accesses
+        hierarchy.texture_access(3, 100)
+        assert hierarchy.dram_accesses == before
+
+    def test_latency_accumulates_down_the_hierarchy(self, hierarchy):
+        cold = hierarchy.texture_access(0, 7)
+        l1 = hierarchy.config.texture_cache.hit_latency
+        l2 = hierarchy.config.l2_cache.hit_latency
+        assert cold.latency >= l1 + l2 + hierarchy.config.dram.min_latency
+
+    def test_l2_hit_latency(self, hierarchy):
+        hierarchy.texture_access(0, 9)
+        result = hierarchy.texture_access(1, 9)
+        expected = (
+            hierarchy.config.texture_cache.hit_latency
+            + hierarchy.config.l2_cache.hit_latency
+        )
+        assert result.latency == expected
+
+
+class TestTrafficClasses:
+    def test_vertex_access_counts_in_l2(self, hierarchy):
+        before = hierarchy.l2_accesses
+        hierarchy.vertex_access(42)
+        assert hierarchy.l2_accesses == before + 1
+
+    def test_tile_access_counts_in_l2(self, hierarchy):
+        before = hierarchy.l2_accesses
+        hierarchy.tile_access(43)
+        assert hierarchy.l2_accesses == before + 1
+
+    def test_l1_hit_does_not_touch_l2(self, hierarchy):
+        hierarchy.texture_access(0, 100)
+        before = hierarchy.l2_accesses
+        hierarchy.texture_access(0, 100)
+        assert hierarchy.l2_accesses == before
+
+    def test_vertex_cache_filters_repeats(self, hierarchy):
+        hierarchy.vertex_access(42)
+        before = hierarchy.l2_accesses
+        hierarchy.vertex_access(42)
+        assert hierarchy.l2_accesses == before
+
+
+class TestStatsAndReplication:
+    def test_texture_l1_stats_aggregate(self, hierarchy):
+        hierarchy.texture_access(0, 1)
+        hierarchy.texture_access(1, 1)
+        hierarchy.texture_access(0, 1)
+        stats = hierarchy.texture_l1_stats()
+        assert stats.accesses == 3
+        assert stats.hits == 1
+
+    def test_replication_factor_one_when_disjoint(self, hierarchy):
+        hierarchy.texture_access(0, 1)
+        hierarchy.texture_access(1, 2)
+        assert hierarchy.replication_factor() == pytest.approx(1.0)
+
+    def test_replication_factor_counts_copies(self, hierarchy):
+        for core in range(4):
+            hierarchy.texture_access(core, 1)
+        assert hierarchy.replication_factor() == pytest.approx(4.0)
+
+    def test_replication_factor_empty(self, hierarchy):
+        assert hierarchy.replication_factor() == 1.0
+
+    def test_reset_clears_everything(self, hierarchy):
+        hierarchy.texture_access(0, 1)
+        hierarchy.vertex_access(2)
+        hierarchy.tile_access(3)
+        hierarchy.reset()
+        assert hierarchy.l2_accesses == 0
+        assert hierarchy.dram_accesses == 0
+        assert hierarchy.texture_l1_stats().accesses == 0
+
+    def test_l2_misses_counted(self, hierarchy):
+        hierarchy.texture_access(0, 500)
+        assert hierarchy.l2_misses == 1
+        hierarchy.texture_access(1, 500)
+        assert hierarchy.l2_misses == 1
+
+
+class TestUpperBoundConfiguration:
+    def test_single_big_l1(self):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        hierarchy = MemoryHierarchy(config.with_upper_bound_cache())
+        assert len(hierarchy.texture_l1s) == 1
+        assert (
+            hierarchy.texture_l1s[0].config.size_bytes
+            == 4 * config.texture_cache.size_bytes
+        )
+
+    def test_no_replication_possible(self):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        hierarchy = MemoryHierarchy(config.with_upper_bound_cache())
+        for line in range(10):
+            hierarchy.texture_access(0, line)
+        assert hierarchy.replication_factor() == 1.0

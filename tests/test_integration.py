@@ -1,0 +1,124 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These exercise the whole stack — workload generation, geometry, tiling,
+rasterization, cache replay, timing, energy — on one real suite game at
+a reduced screen size, and assert the *directions* the paper reports.
+"""
+
+import pytest
+
+from repro.analysis.metrics import per_tile_imbalance
+from repro.core.dtexl import (
+    BASELINE,
+    DTEXL_BEST,
+    FIG8_MAPPING_NAMES,
+    PAPER_CONFIGURATIONS,
+)
+from repro.sim.replay import TraceReplayer
+
+
+@pytest.fixture(scope="module")
+def replayer(small_config):
+    return TraceReplayer(small_config)
+
+
+@pytest.fixture(scope="module")
+def results(replayer, small_game_trace):
+    """Replay the key design points once for all assertions below."""
+    names = [
+        "CG-square-coupled", "FG-xshift2-decoupled",
+        "Zorder-const", "HLB-flp2", "Sorder-const", "upper-bound",
+    ]
+    out = {"baseline": replayer.run(small_game_trace, BASELINE)}
+    for name in names:
+        out[name] = replayer.run(small_game_trace, PAPER_CONFIGURATIONS[name])
+    out["DTexL"] = replayer.run(small_game_trace, DTEXL_BEST)
+    return out
+
+
+class TestHeadlineClaims:
+    def test_cg_cuts_l2_accesses_substantially(self, results):
+        """Figure 11's core claim: CG-square slashes L2 accesses."""
+        base = results["baseline"].l2_accesses
+        cg = results["CG-square-coupled"].l2_accesses
+        assert (base - cg) / base > 0.25
+
+    def test_cg_alone_gives_no_speedup(self, results):
+        """Figure 13: without decoupling, the caching win is offset."""
+        ratio = results["baseline"].frame_cycles / results[
+            "CG-square-coupled"
+        ].frame_cycles
+        assert ratio < 1.1
+
+    def test_dtexl_outperforms_baseline(self, results):
+        """Figure 17: DTexL (HLB-flp2, decoupled) is faster.  The full
+        1.2x shows at suite scale (see benchmarks/); at this reduced
+        screen the direction must still hold."""
+        ratio = results["baseline"].frame_cycles / results["DTexL"].frame_cycles
+        assert ratio > 1.0
+
+    def test_dtexl_matches_fg_decoupled_time_with_fewer_l2(self, results):
+        """Figure 17 + 16 together: DTexL is at least competitive with
+        FG+decoupled on time while touching the L2 far less."""
+        assert (
+            results["DTexL"].frame_cycles
+            < results["FG-xshift2-decoupled"].frame_cycles * 1.02
+        )
+        assert (
+            results["DTexL"].l2_accesses
+            < 0.85 * results["FG-xshift2-decoupled"].l2_accesses
+        )
+
+    def test_dtexl_saves_energy(self, results):
+        """Figure 18: total GPU energy decreases."""
+        assert (
+            results["DTexL"].energy.total_mj
+            < results["baseline"].energy.total_mj
+        )
+
+    def test_upper_bound_bounds_every_mapping(self, results):
+        ub = results["upper-bound"].l2_accesses
+        for name in ["Zorder-const", "HLB-flp2", "Sorder-const"]:
+            assert ub < results[name].l2_accesses
+
+    def test_mappings_close_most_of_the_gap(self, results):
+        """Figure 16: shared-edge mappings close a large share of the
+        baseline-to-upper-bound gap."""
+        base = results["baseline"].l2_accesses
+        ub = results["upper-bound"].l2_accesses
+        best = results["HLB-flp2"].l2_accesses
+        closed = (base - best) / (base - ub)
+        assert closed > 0.4
+
+    def test_l2_misses_mostly_unchanged(self, results):
+        """§V-C1: quad mapping targets short-term reuse; DRAM traffic
+        (L2 misses) stays in the same ballpark."""
+        base = results["baseline"].l2_misses
+        dtexl = results["DTexL"].l2_misses
+        assert abs(base - dtexl) / base < 0.35
+
+    def test_time_imbalance_cg_worse_than_fg(self, results):
+        """Figure 14: per-tile SC execution-time deviation."""
+        fg = per_tile_imbalance(results["baseline"].timing.per_tile_sc_cycles)
+        cg = per_tile_imbalance(
+            results["CG-square-coupled"].timing.per_tile_sc_cycles
+        )
+        assert cg > fg
+
+    def test_flipped_mapping_competitive_with_const(self, results):
+        """Figure 16: flips beat const on the suite average; on a single
+        small frame they must at least be within noise of it."""
+        assert (
+            results["HLB-flp2"].l2_accesses
+            <= results["Zorder-const"].l2_accesses * 1.05
+        )
+
+
+class TestAllFig8MappingsRun:
+    @pytest.mark.parametrize("name", FIG8_MAPPING_NAMES)
+    def test_mapping_improves_on_baseline(
+        self, replayer, small_game_trace, results, name
+    ):
+        result = replayer.run(small_game_trace, PAPER_CONFIGURATIONS[name])
+        assert result.l2_accesses < results["baseline"].l2_accesses
+        assert result.total_quads == results["baseline"].total_quads

@@ -1,0 +1,94 @@
+"""Tests for barycentric and perspective-correct interpolation."""
+
+import pytest
+
+from repro.geometry.mesh import ShaderProgram
+from repro.geometry.primitive_assembly import Primitive
+from repro.geometry.vec import Vec2, Vec3, Vec4
+from repro.geometry.vertex_stage import TransformedVertex
+from repro.raster.interpolation import (
+    barycentric,
+    interpolate_color,
+    interpolate_depth,
+    interpolate_uv,
+)
+from repro.raster.setup import setup_primitive
+
+
+def screen_triangle(ws=(1.0, 1.0, 1.0)):
+    """NDC triangle covering the left half of a 100x100 screen."""
+    data = [
+        ((-1, 1, 0), (0.0, 0.0), (1, 0, 0)),
+        ((1, 1, 0), (1.0, 0.0), (0, 1, 0)),
+        ((-1, -1, 0), (0.0, 1.0), (0, 0, 1)),
+    ]
+    vertices = tuple(
+        TransformedVertex(
+            clip_position=Vec4(x * w, y * w, z * w, w),
+            uv=Vec2(*uv),
+            color=Vec3(*color),
+        )
+        for ((x, y, z), uv, color), w in zip(data, ws)
+    )
+    prim = Primitive(
+        primitive_id=0, vertices=vertices, texture_id=0,
+        shader=ShaderProgram(),
+    )
+    return setup_primitive(prim, 100, 100)
+
+
+class TestBarycentric:
+    def test_weights_sum_to_one_everywhere(self):
+        tri = screen_triangle()
+        for point in [(10, 10), (50, 50), (200, -50)]:
+            weights = barycentric(tri, *point)
+            assert sum(weights) == pytest.approx(1.0)
+
+    def test_vertices_have_unit_weight(self):
+        tri = screen_triangle()
+        w = barycentric(tri, 0.0, 0.0)
+        assert w[0] == pytest.approx(1.0)
+        w = barycentric(tri, 100.0, 0.0)
+        assert w[1] == pytest.approx(1.0)
+
+    def test_outside_point_has_negative_weight(self):
+        tri = screen_triangle()
+        weights = barycentric(tri, 90.0, 90.0)
+        assert min(weights) < 0.0
+
+
+class TestAffineInterpolation:
+    def test_depth_linear_in_screen_space(self):
+        tri = screen_triangle()
+        mid = barycentric(tri, 50.0, 0.0)
+        assert interpolate_depth(tri, mid) == pytest.approx(0.5)
+
+    def test_uv_affine_when_w_equal(self):
+        tri = screen_triangle()
+        mid = barycentric(tri, 50.0, 0.0)
+        u, v = interpolate_uv(tri, mid)
+        assert u == pytest.approx(0.5)
+        assert v == pytest.approx(0.0)
+
+    def test_color_at_vertex(self):
+        tri = screen_triangle()
+        w = barycentric(tri, 0.0, 100.0)
+        assert interpolate_color(tri, w) == pytest.approx((0, 0, 1))
+
+
+class TestPerspectiveCorrection:
+    def test_uv_biased_towards_near_vertex(self):
+        """With w=(1, 3): the screen midpoint must sample u < 0.5 —
+        perspective pulls texture coordinates towards the nearer vertex."""
+        tri = screen_triangle(ws=(1.0, 3.0, 1.0))
+        mid = barycentric(tri, 50.0, 0.0)
+        u, _ = interpolate_uv(tri, mid)
+        assert u < 0.5
+
+    def test_exact_hyperbolic_midpoint(self):
+        """u at the screen midpoint of an edge with w=(1, 3) is 1/4:
+        u = (0/1 + 1/3)/(1/1 + 1/3) * ... analytic = (1/3)/(4/3)."""
+        tri = screen_triangle(ws=(1.0, 3.0, 1.0))
+        mid = barycentric(tri, 50.0, 0.0)
+        u, _ = interpolate_uv(tri, mid)
+        assert u == pytest.approx(0.25)

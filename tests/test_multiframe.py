@@ -1,0 +1,98 @@
+"""Tests for animated multi-frame simulation with warm caches."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dtexl import BASELINE, DTEXL_BEST
+from repro.sim.multiframe import AnimationSimulator
+from repro.workloads.animation import Animation
+from repro.workloads.recipe import SceneRecipe
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GPUConfig(screen_width=128, screen_height=64)
+
+
+@pytest.fixture(scope="module")
+def animation():
+    recipe = SceneRecipe(
+        name="anim", seed=11, is_3d=False, texture_budget_mib=0.3,
+        depth_complexity=1.5, sprite_size=(0.2, 0.4), scroll=(0.05, 0.0),
+    )
+    return Animation(recipe=recipe, num_frames=3)
+
+
+@pytest.fixture(scope="module")
+def warm_result(config, animation):
+    return AnimationSimulator(config).run(animation, BASELINE)
+
+
+class TestAnimation:
+    def test_frame_count(self, animation, config):
+        assert len(animation.build_all(config)) == 3
+
+    def test_frames_share_textures(self, animation, config):
+        frames = animation.build_all(config)
+        first = frames[0].allocator.textures
+        last = frames[-1].allocator.textures
+        assert {t.base_address for t in first.values()} == {
+            t.base_address for t in last.values()
+        }
+
+    def test_frames_differ_in_geometry(self, animation, config):
+        frames = animation.build_all(config)
+        v0 = frames[0].scene.draws[-1].mesh.vertices[0].position
+        v1 = frames[1].scene.draws[-1].mesh.vertices[0].position
+        assert v0 != v1
+
+    def test_of_game(self, config):
+        animation = Animation.of_game("SWa", num_frames=2)
+        assert len(animation.build_all(config)) == 2
+
+    def test_of_unknown_game(self):
+        with pytest.raises(KeyError):
+            Animation.of_game("XYZ")
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ValueError):
+            Animation(recipe=SceneRecipe(
+                name="x", seed=1, is_3d=False, texture_budget_mib=0.1,
+            ), num_frames=0)
+
+
+class TestWarmCaches:
+    def test_per_frame_results(self, warm_result):
+        assert len(warm_result.frames) == 3
+        assert all(f.frame_cycles > 0 for f in warm_result.frames)
+
+    def test_first_frame_is_coldest(self, warm_result):
+        """Frame 0 misses more in DRAM than the warm frames."""
+        cold = warm_result.frames[0].dram_accesses
+        later = [f.dram_accesses for f in warm_result.frames[1:]]
+        assert cold >= max(later)
+
+    def test_warmup_ratio_at_least_one(self, warm_result):
+        assert warm_result.warmup_ratio() >= 0.95
+
+    def test_totals(self, warm_result):
+        assert warm_result.total_cycles == sum(
+            f.frame_cycles for f in warm_result.frames
+        )
+        assert warm_result.fps(600) > 0
+
+    def test_cold_mode_repeats_cold_behaviour(self, config, animation):
+        sim = AnimationSimulator(config)
+        cold = sim.run(animation, BASELINE, cold_caches_each_frame=True)
+        warm = sim.run(animation, BASELINE)
+        # Cold-per-frame can never see fewer DRAM fills than warm replay.
+        assert (
+            sum(f.dram_accesses for f in cold.frames)
+            >= sum(f.dram_accesses for f in warm.frames)
+        )
+
+    def test_dtexl_works_across_frames(self, config, animation):
+        sim = AnimationSimulator(config)
+        base = sim.run(animation, BASELINE)
+        dtexl = sim.run(animation, DTEXL_BEST)
+        assert dtexl.total_l2_accesses < base.total_l2_accesses

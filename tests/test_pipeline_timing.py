@@ -1,0 +1,213 @@
+"""Tests for the coupled vs decoupled raster-pipeline timing model."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.raster.pipeline import (
+    RasterPipelineModel,
+    SubtileWork,
+    TileWork,
+)
+
+
+@pytest.fixture
+def config():
+    return GPUConfig(screen_width=128, screen_height=64)
+
+
+def subtile(num_quads, compute_per_quad=10, stall_per_quad=0):
+    work = SubtileWork()
+    for _ in range(num_quads):
+        work.add_quad(compute_per_quad, stall_per_quad)
+    return work
+
+
+def tile_work(step, quads_per_sc, fetch=1, **kwargs):
+    return TileWork(
+        tile=(step, 0),
+        step=step,
+        fetch_cycles=fetch,
+        subtiles=[subtile(n, **kwargs) for n in quads_per_sc],
+    )
+
+
+def simulate(config, tiles, decoupled):
+    return RasterPipelineModel(config, decoupled).simulate(tiles)
+
+
+class TestSubtileWork:
+    def test_accumulates(self):
+        work = subtile(3, compute_per_quad=5, stall_per_quad=2)
+        assert work.num_quads == 3
+        assert work.compute_cycles == 15
+        assert work.stall_cycles == 6
+
+    def test_warp_costs_partition_totals(self):
+        work = SubtileWork(num_quads=3, compute_cycles=10, stall_cycles=7)
+        warps = work.warp_costs()
+        assert len(warps) == 3
+        assert sum(w.compute_cycles for w in warps) == 10
+        assert sum(w.stall_cycles for w in warps) == 7
+
+    def test_warp_costs_empty(self):
+        assert SubtileWork().warp_costs() == []
+
+
+class TestFrameTiming:
+    def test_empty_frame(self, config):
+        timing = simulate(config, [], decoupled=False)
+        assert timing.total_cycles == 0
+
+    def test_fps(self, config):
+        timing = simulate(
+            config, [tile_work(0, [10, 10, 10, 10])], decoupled=False
+        )
+        fps = timing.fps(config.frequency_mhz)
+        assert fps == pytest.approx(
+            config.frequency_mhz * 1e6 / timing.total_cycles
+        )
+
+    def test_idle_cycles_nonnegative(self, config):
+        timing = simulate(
+            config,
+            [tile_work(s, [40, 0, 0, 0]) for s in range(4)],
+            decoupled=False,
+        )
+        assert all(idle >= 0 for idle in timing.sc_idle_cycles)
+
+    def test_per_tile_cycles_recorded(self, config):
+        tiles = [tile_work(s, [10, 20, 30, 40]) for s in range(3)]
+        timing = simulate(config, tiles, decoupled=False)
+        assert len(timing.per_tile_sc_cycles) == 3
+        assert len(timing.per_tile_sc_cycles[0]) == 4
+
+
+class TestCoupledVsDecoupled:
+    def test_decoupled_never_slower(self, config):
+        tiles = [
+            tile_work(s, [s % 4 * 30 + 5, 10, 60, 20]) for s in range(20)
+        ]
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        assert decoupled.total_cycles <= coupled.total_cycles
+
+    def test_balanced_work_gains_little(self, config):
+        tiles = [tile_work(s, [25, 25, 25, 25]) for s in range(20)]
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        gain = coupled.total_cycles / decoupled.total_cycles
+        assert gain < 1.2
+
+    def test_alternating_imbalance_gains_a_lot(self, config):
+        """SCs take turns being the heavy one: decoupling averages it out."""
+        tiles = []
+        for s in range(40):
+            quads = [4, 4, 4, 4]
+            quads[s % 4] = 120
+            tiles.append(tile_work(s, quads))
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        gain = coupled.total_cycles / decoupled.total_cycles
+        assert gain > 1.5
+
+    def test_permanent_imbalance_gains_little(self, config):
+        """One SC always heavy: decoupling cannot help the critical chain."""
+        tiles = [tile_work(s, [120, 4, 4, 4]) for s in range(40)]
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        gain = coupled.total_cycles / decoupled.total_cycles
+        assert gain < 1.15
+
+    def test_fetch_bound_frame(self, config):
+        """A huge fetch cost dominates both architectures equally-ish."""
+        tiles = [tile_work(s, [1, 1, 1, 1], fetch=10000) for s in range(5)]
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        assert coupled.total_cycles >= 50000
+        assert decoupled.total_cycles >= 50000
+
+    def test_busy_cycles_equal_between_modes(self, config):
+        """The architectures move the same work; only waiting differs."""
+        tiles = [tile_work(s, [10, 20, 30, 40], stall_per_quad=3)
+                 for s in range(10)]
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        assert coupled.sc_busy_cycles == decoupled.sc_busy_cycles
+        assert coupled.sc_issue_cycles == decoupled.sc_issue_cycles
+
+
+class TestFlushModelling:
+    def test_coupled_flush_serializes_per_tile(self, config):
+        """More tiles -> proportionally more flush serialization."""
+        few = simulate(
+            config, [tile_work(s, [1, 1, 1, 1]) for s in range(2)],
+            decoupled=False,
+        )
+        many = simulate(
+            config, [tile_work(s, [1, 1, 1, 1]) for s in range(12)],
+            decoupled=False,
+        )
+        pixels = config.tile_size ** 2
+        flush = pixels * config.color_bytes_per_pixel // config.flush_bytes_per_cycle
+        assert many.total_cycles - few.total_cycles >= 10 * flush
+
+    def test_decoupled_banks_flush_in_parallel(self, config):
+        tiles = [tile_work(s, [1, 1, 1, 1]) for s in range(12)]
+        coupled = simulate(config, tiles, decoupled=False)
+        decoupled = simulate(config, tiles, decoupled=True)
+        assert decoupled.total_cycles < coupled.total_cycles
+
+
+class TestFifoSkewBound:
+    def make_rotating_tiles(self, count=40):
+        tiles = []
+        for s in range(count):
+            quads = [4, 4, 4, 4]
+            quads[s % 4] = 120
+            tiles.append(tile_work(s, quads))
+        return tiles
+
+    def test_shallow_fifo_limits_decoupling_gain(self, config):
+        """fifo_depth=1 forces near-lockstep progress; deep FIFOs free it."""
+        import dataclasses
+
+        tiles = self.make_rotating_tiles()
+        shallow_cfg = dataclasses.replace(config, fifo_depth=1)
+        deep_cfg = dataclasses.replace(config, fifo_depth=64)
+        shallow = RasterPipelineModel(shallow_cfg, decoupled=True).simulate(tiles)
+        deep = RasterPipelineModel(deep_cfg, decoupled=True).simulate(tiles)
+        assert shallow.total_cycles > deep.total_cycles
+
+    def test_deep_fifo_never_slower_than_shallow(self, config):
+        import dataclasses
+
+        for depth_a, depth_b in [(1, 4), (4, 16), (2, 64)]:
+            tiles = self.make_rotating_tiles()
+            a = RasterPipelineModel(
+                dataclasses.replace(config, fifo_depth=depth_a), decoupled=True
+            ).simulate(tiles)
+            b = RasterPipelineModel(
+                dataclasses.replace(config, fifo_depth=depth_b), decoupled=True
+            ).simulate(tiles)
+            assert b.total_cycles <= a.total_cycles
+
+    def test_decoupled_with_fifo_still_beats_coupled(self, config):
+        import dataclasses
+
+        tiles = self.make_rotating_tiles()
+        shallow_cfg = dataclasses.replace(config, fifo_depth=2)
+        decoupled = RasterPipelineModel(shallow_cfg, decoupled=True).simulate(tiles)
+        coupled = RasterPipelineModel(shallow_cfg, decoupled=False).simulate(tiles)
+        assert decoupled.total_cycles <= coupled.total_cycles
+
+    def test_fifo_irrelevant_for_balanced_work(self, config):
+        import dataclasses
+
+        tiles = [tile_work(s, [25, 25, 25, 25]) for s in range(20)]
+        shallow = RasterPipelineModel(
+            dataclasses.replace(config, fifo_depth=1), decoupled=True
+        ).simulate(tiles)
+        deep = RasterPipelineModel(
+            dataclasses.replace(config, fifo_depth=64), decoupled=True
+        ).simulate(tiles)
+        assert shallow.total_cycles <= deep.total_cycles * 1.05

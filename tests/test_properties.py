@@ -1,0 +1,156 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPUConfig
+from repro.raster.pipeline import RasterPipelineModel, SubtileWork, TileWork
+
+
+def build_tiles(spec):
+    """spec: list of 4-tuples of (quads, compute/quad, stall/quad)."""
+    tiles = []
+    for step, per_sc in enumerate(spec):
+        subtiles = []
+        for quads, compute, stall in per_sc:
+            work = SubtileWork()
+            for _ in range(quads):
+                work.add_quad(compute, stall)
+            subtiles.append(work)
+        tiles.append(
+            TileWork(tile=(step, 0), step=step, fetch_cycles=1,
+                     subtiles=subtiles)
+        )
+    return tiles
+
+
+subtile_spec = st.tuples(
+    st.integers(min_value=0, max_value=40),   # quads
+    st.integers(min_value=1, max_value=30),   # compute per quad
+    st.integers(min_value=0, max_value=60),   # stall per quad
+)
+tile_spec = st.tuples(subtile_spec, subtile_spec, subtile_spec, subtile_spec)
+frame_spec = st.lists(tile_spec, min_size=1, max_size=12)
+
+
+class TestPipelineInvariants:
+    @given(frame_spec)
+    @settings(max_examples=40, deadline=None)
+    def test_decoupled_never_slower_than_coupled(self, spec):
+        """The paper's architectural claim, as a universal property."""
+        config = GPUConfig(screen_width=128, screen_height=64)
+        tiles = build_tiles(spec)
+        coupled = RasterPipelineModel(config, decoupled=False).simulate(tiles)
+        decoupled = RasterPipelineModel(config, decoupled=True).simulate(tiles)
+        assert decoupled.total_cycles <= coupled.total_cycles
+
+    @given(frame_spec)
+    @settings(max_examples=40, deadline=None)
+    def test_frame_time_at_least_busiest_core(self, spec):
+        config = GPUConfig(screen_width=128, screen_height=64)
+        tiles = build_tiles(spec)
+        for decoupled in (False, True):
+            timing = RasterPipelineModel(config, decoupled).simulate(tiles)
+            assert timing.total_cycles >= max(timing.sc_busy_cycles)
+
+    @given(frame_spec)
+    @settings(max_examples=30, deadline=None)
+    def test_adding_work_never_speeds_up(self, spec):
+        """Monotonicity: extra quads cannot shorten the frame."""
+        config = GPUConfig(screen_width=128, screen_height=64)
+        light = build_tiles(spec)
+        heavy_spec = [
+            tuple((q + 2, c, s) for q, c, s in per_sc) for per_sc in spec
+        ]
+        heavy = build_tiles(heavy_spec)
+        for decoupled in (False, True):
+            a = RasterPipelineModel(config, decoupled).simulate(light)
+            b = RasterPipelineModel(config, decoupled).simulate(heavy)
+            assert b.total_cycles >= a.total_cycles
+
+
+class TestSchedulerInvariants:
+    @given(
+        st.sampled_from(
+            ["FG-xshift2", "FG-check", "CG-square", "CG-yrect", "CG-tri"]
+        ),
+        st.sampled_from(["const", "flp1", "flp2", "flp3"]),
+        st.sampled_from(["scanline", "zorder", "hilbert", "sorder"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_tile_splits_quads_equally(self, grouping, assignment, order):
+        """Any (grouping x assignment x order): a full tile gives each
+        SC exactly a quarter of the quads — the Z-Buffer banks are equal
+        sized, so this is a hardware requirement, not a preference."""
+        from repro.core.quad_grouping import get_grouping
+        from repro.core.scheduler import QuadScheduler
+        from repro.core.subtile_assignment import get_assignment
+
+        config = GPUConfig(screen_width=128, screen_height=64)
+        scheduler = QuadScheduler(
+            config=config,
+            grouping=get_grouping(grouping),
+            assignment=get_assignment(assignment),
+            order_name=order,
+        )
+        side = config.quads_per_tile_side
+        full_tile = [(qx, qy) for qx in range(side) for qy in range(side)]
+        for step in (0, scheduler.num_steps // 2, scheduler.num_steps - 1):
+            counts = scheduler.quad_counts_per_core(step, full_tile)
+            assert counts == [side * side // 4] * 4
+
+
+class TestSamplerInvariants:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_trilinear_superset_of_bilinear_at_level(self, u, v, level):
+        from repro.texture.sampler import FilterMode, Sampler
+        from repro.texture.texture import Texture
+
+        texture = Texture(0, 128, 128, base_address=1 << 28)
+        bilinear = Sampler(FilterMode.BILINEAR).footprint(
+            texture, u, v, float(level)
+        )
+        trilinear = Sampler(FilterMode.TRILINEAR).footprint(
+            texture, u, v, float(level) + 0.5
+        )
+        assert set(bilinear.lines) <= set(trilinear.lines)
+
+
+class TestEnergyInvariants:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_monotone_in_l2_accesses(self, low, extra):
+        from repro.power.energy_model import EnergyModel
+
+        model = EnergyModel()
+        def total(l2):
+            return model.frame_energy(
+                l1_accesses=0, l2_accesses=l2, dram_accesses=0,
+                vertex_accesses=0, tile_accesses=0, sc_issue_cycles=0,
+                quads_processed=0, frame_cycles=1000, frequency_mhz=600,
+            ).total_mj
+        assert total(low + extra) >= total(low)
+
+
+class TestReuseInvariants:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=80),
+        st.lists(st.integers(min_value=0, max_value=20), max_size=80),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_totals_additive(self, a, b):
+        from repro.analysis.reuse import reuse_profile
+
+        pa, pb = reuse_profile(a), reuse_profile(b)
+        merged = pa.merge(pb)
+        assert merged.total_accesses == len(a) + len(b)
+        assert merged.cold_accesses == pa.cold_accesses + pb.cold_accesses

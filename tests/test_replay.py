@@ -1,0 +1,139 @@
+"""Tests for the trace replayer (pass 2)."""
+
+import pytest
+
+from repro.core.dtexl import BASELINE, DTexLConfig, PAPER_CONFIGURATIONS
+from repro.sim.replay import TraceReplayer
+
+
+@pytest.fixture(scope="module")
+def replayer(tiny_config):
+    return TraceReplayer(tiny_config)
+
+
+@pytest.fixture(scope="module")
+def baseline_result(replayer, tiny_trace):
+    return replayer.run(tiny_trace, BASELINE)
+
+
+class TestAccounting:
+    def test_all_quads_replayed(self, baseline_result, tiny_trace):
+        assert baseline_result.total_quads == tiny_trace.total_quads
+
+    def test_per_tile_counts_sum_to_total(self, baseline_result):
+        total = sum(sum(c) for c in baseline_result.per_tile_quad_counts)
+        assert total == baseline_result.total_quads
+
+    def test_l1_accesses_equal_texture_lines(self, baseline_result, tiny_trace):
+        assert baseline_result.l1_accesses == tiny_trace.total_texture_lines
+
+    def test_l2_conservation(self, baseline_result):
+        """L2 accesses = L1 misses + vertex misses + tile-cache misses."""
+        assert baseline_result.l2_accesses <= (
+            baseline_result.l1_accesses
+            + baseline_result.vertex_accesses
+            + baseline_result.tile_accesses
+        )
+        assert baseline_result.l2_accesses >= baseline_result.dram_accesses
+
+    def test_timing_positive(self, baseline_result):
+        assert baseline_result.frame_cycles > 0
+        assert baseline_result.fps(600) > 0
+
+    def test_energy_positive(self, baseline_result):
+        assert baseline_result.energy.total_mj > 0
+
+    def test_deterministic(self, replayer, tiny_trace):
+        a = replayer.run(tiny_trace, BASELINE)
+        b = replayer.run(tiny_trace, BASELINE)
+        assert a.l2_accesses == b.l2_accesses
+        assert a.frame_cycles == b.frame_cycles
+        assert a.energy.total_mj == pytest.approx(b.energy.total_mj)
+
+
+class TestDesignPointOrdering:
+    def test_cg_reduces_l2_vs_fg(self, replayer, tiny_trace, baseline_result):
+        cg = replayer.run(tiny_trace, PAPER_CONFIGURATIONS["CG-square-coupled"])
+        assert cg.l2_accesses < baseline_result.l2_accesses
+
+    def test_cg_reduces_replication(self, replayer, tiny_trace, baseline_result):
+        cg = replayer.run(tiny_trace, PAPER_CONFIGURATIONS["CG-square-coupled"])
+        assert cg.l1_replication_factor < baseline_result.l1_replication_factor
+
+    def test_upper_bound_has_lowest_l2(self, replayer, tiny_trace):
+        ub = replayer.run(tiny_trace, PAPER_CONFIGURATIONS["upper-bound"])
+        for name in ["Zorder-const", "HLB-flp2", "Sorder-const"]:
+            other = replayer.run(tiny_trace, PAPER_CONFIGURATIONS[name])
+            assert ub.l2_accesses <= other.l2_accesses
+
+    def test_upper_bound_single_core(self, replayer, tiny_trace):
+        ub = replayer.run(tiny_trace, PAPER_CONFIGURATIONS["upper-bound"])
+        assert ub.l1_replication_factor == 1.0
+        assert len(ub.timing.sc_busy_cycles) == 1
+
+    def test_decoupling_does_not_change_l2(self, replayer, tiny_trace):
+        coupled = replayer.run(
+            tiny_trace, DTexLConfig(name="c", grouping="CG-square")
+        )
+        decoupled = replayer.run(
+            tiny_trace,
+            DTexLConfig(name="d", grouping="CG-square", decoupled=True),
+        )
+        assert coupled.l2_accesses == decoupled.l2_accesses
+
+    def test_decoupling_helps_cg_runtime(self, replayer, tiny_trace):
+        coupled = replayer.run(
+            tiny_trace, DTexLConfig(name="c", grouping="CG-square")
+        )
+        decoupled = replayer.run(
+            tiny_trace,
+            DTexLConfig(name="d", grouping="CG-square", decoupled=True),
+        )
+        assert decoupled.frame_cycles < coupled.frame_cycles
+
+    def test_fg_balances_quads_better_than_cg(
+        self, small_config, small_game_trace
+    ):
+        """On a real game frame (clustered overdraw), coarse grouping is
+        worse-balanced than the fine-grained baseline — Figures 12/15."""
+        from repro.analysis.metrics import per_tile_imbalance
+
+        replayer = TraceReplayer(small_config)
+        fg = replayer.run(small_game_trace, BASELINE)
+        cg = replayer.run(
+            small_game_trace, PAPER_CONFIGURATIONS["CG-square-coupled"]
+        )
+        fg_imbalance = per_tile_imbalance(fg.per_tile_quad_counts)
+        cg_imbalance = per_tile_imbalance(cg.per_tile_quad_counts)
+        assert cg_imbalance > 1.5 * fg_imbalance
+
+
+class TestTileOrderEffects:
+    def test_orders_visit_same_work(self, replayer, tiny_trace):
+        results = [
+            replayer.run(
+                tiny_trace,
+                DTexLConfig(name=o, grouping="CG-square", order=o),
+            )
+            for o in ("scanline", "zorder", "hilbert", "sorder")
+        ]
+        assert len({r.total_quads for r in results}) == 1
+        assert len({r.l1_accesses for r in results}) == 1
+
+
+class TestFramebufferTraffic:
+    def test_write_lines_cover_every_tile(self, replayer, tiny_trace, tiny_config):
+        result = replayer.run(tiny_trace, BASELINE)
+        tile_lines = (
+            tiny_config.tile_size ** 2 * tiny_config.color_bytes_per_pixel + 63
+        ) // 64
+        assert result.framebuffer_write_lines == (
+            tiny_config.num_tiles * tile_lines
+        )
+
+    def test_write_traffic_schedule_independent(self, replayer, tiny_trace):
+        from repro.core.dtexl import DTEXL_BEST
+
+        base = replayer.run(tiny_trace, BASELINE)
+        dtexl = replayer.run(tiny_trace, DTEXL_BEST)
+        assert base.framebuffer_write_lines == dtexl.framebuffer_write_lines

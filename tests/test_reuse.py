@@ -1,0 +1,128 @@
+"""Tests for the reuse-distance analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import (
+    ReuseProfile,
+    per_core_reuse_profiles,
+    reuse_profile,
+)
+from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS
+
+
+class TestReuseProfile:
+    def test_empty_stream(self):
+        profile = reuse_profile([])
+        assert profile.total_accesses == 0
+        assert profile.hit_rate(100) == 0.0
+
+    def test_all_cold(self):
+        profile = reuse_profile([1, 2, 3, 4])
+        assert profile.cold_accesses == 4
+        assert profile.histogram == {}
+
+    def test_immediate_reuse_distance_zero(self):
+        profile = reuse_profile([7, 7])
+        assert profile.histogram == {0: 1}
+
+    def test_known_distances(self):
+        # a b c a: the second 'a' saw 2 distinct lines (b, c).
+        profile = reuse_profile(["a", "b", "c", "a"])
+        assert profile.histogram == {2: 1}
+        assert profile.cold_accesses == 3
+
+    def test_distance_counts_distinct_not_total(self):
+        # a b b b a: only ONE distinct line between the two a's.
+        profile = reuse_profile(["a", "b", "b", "b", "a"])
+        assert profile.histogram[1] == 1
+        assert profile.histogram[0] == 2
+
+    def test_hit_rate_matches_lru_capacity(self):
+        # a b a with capacity 2: second 'a' hits (distance 1 < 2).
+        profile = reuse_profile(["a", "b", "a"])
+        assert profile.hit_rate(2) == pytest.approx(1 / 3)
+        assert profile.hit_rate(1) == 0.0
+
+    def test_mean_distance(self):
+        profile = reuse_profile(["a", "b", "a", "b"])
+        assert profile.mean_distance() == pytest.approx(1.0)
+
+    def test_working_set(self):
+        # Reuses at distances 0 and 4.
+        profile = reuse_profile(["a", "a", "b", "c", "d", "e", "a"])
+        assert profile.working_set(coverage=0.5) == 1
+        assert profile.working_set(coverage=1.0) == 5
+
+    def test_working_set_no_reuse(self):
+        assert reuse_profile([1, 2, 3]).working_set() == 0
+
+    def test_merge(self):
+        a = reuse_profile(["x", "x"])
+        b = reuse_profile(["y", "z", "y"])
+        merged = a.merge(b)
+        assert merged.total_accesses == 5
+        assert merged.cold_accesses == 3
+        assert merged.histogram == {0: 1, 1: 1}
+
+
+class TestReuseProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_always_consistent(self, stream):
+        profile = reuse_profile(stream)
+        reused = sum(profile.histogram.values())
+        assert profile.cold_accesses + reused == len(stream)
+        assert profile.cold_accesses == len(set(stream))
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_rate_monotone_in_capacity(self, stream):
+        profile = reuse_profile(stream)
+        rates = [profile.hit_rate(c) for c in (1, 2, 4, 8, 16, 64)]
+        assert rates == sorted(rates)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_rate_matches_simulated_lru(self, stream):
+        """The profile's prediction equals a real fully-assoc LRU."""
+        from collections import OrderedDict
+
+        capacity = 4
+        cache = OrderedDict()
+        hits = 0
+        for line in stream:
+            if line in cache:
+                cache.move_to_end(line)
+                hits += 1
+            else:
+                if len(cache) >= capacity:
+                    cache.popitem(last=False)
+            cache[line] = None
+        profile = reuse_profile(stream)
+        expected = hits / len(stream) if stream else 0.0
+        assert profile.hit_rate(capacity) == pytest.approx(expected)
+
+
+class TestPerCoreProfiles:
+    def test_cg_compresses_reuse_distances(self, tiny_config, tiny_trace):
+        """The DTexL thesis, in reuse-distance form: coarse grouping
+        yields shorter per-core reuse distances than fine-grained."""
+        fg = BASELINE.build_scheduler(tiny_config)
+        cg = PAPER_CONFIGURATIONS["CG-square-coupled"].build_scheduler(
+            tiny_config
+        )
+        fg_profiles = per_core_reuse_profiles(tiny_trace, fg)
+        cg_profiles = per_core_reuse_profiles(tiny_trace, cg)
+        l1_lines = tiny_config.texture_cache.num_lines
+        fg_hit = sum(p.hit_rate(l1_lines) for p in fg_profiles) / 4
+        cg_hit = sum(p.hit_rate(l1_lines) for p in cg_profiles) / 4
+        assert cg_hit > fg_hit
+
+    def test_streams_cover_all_lines(self, tiny_config, tiny_trace):
+        profiles = per_core_reuse_profiles(
+            tiny_trace, BASELINE.build_scheduler(tiny_config)
+        )
+        total = sum(p.total_accesses for p in profiles)
+        assert total == tiny_trace.total_texture_lines

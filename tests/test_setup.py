@@ -1,0 +1,107 @@
+"""Tests for triangle setup and the ScreenPrimitive geometry helpers."""
+
+import pytest
+
+from repro.geometry.mesh import ShaderProgram
+from repro.geometry.primitive_assembly import Primitive
+from repro.geometry.vec import Vec2, Vec3, Vec4
+from repro.geometry.vertex_stage import TransformedVertex
+from repro.raster.setup import setup_primitive
+
+
+def clip_primitive_from_ndc(points, uvs=None, pid=0):
+    """Build a primitive whose clip coords equal the given NDC (w=1)."""
+    uvs = uvs or [(0, 0), (1, 0), (0, 1)]
+    vertices = tuple(
+        TransformedVertex(
+            clip_position=Vec4(x, y, z, 1.0),
+            uv=Vec2(*uv),
+            color=Vec3(1, 1, 1),
+        )
+        for (x, y, z), uv in zip(points, uvs)
+    )
+    return Primitive(
+        primitive_id=pid, vertices=vertices, texture_id=0,
+        shader=ShaderProgram(),
+    )
+
+
+class TestSetup:
+    def test_ndc_corners_map_to_screen(self):
+        prim = clip_primitive_from_ndc(
+            [(-1, 1, 0), (1, 1, 0), (-1, -1, 0)]
+        )
+        screen = setup_primitive(prim, 100, 50)
+        a, b, c = screen.vertices
+        assert (a.x, a.y) == (0.0, 0.0)
+        assert (b.x, b.y) == (100.0, 0.0)
+        assert (c.x, c.y) == (0.0, 50.0)
+
+    def test_depth_mapped_to_unit_range(self):
+        prim = clip_primitive_from_ndc(
+            [(-1, 1, -1), (1, 1, 0), (-1, -1, 1)]
+        )
+        screen = setup_primitive(prim, 100, 50)
+        assert screen.vertices[0].z == 0.0
+        assert screen.vertices[1].z == 0.5
+        assert screen.vertices[2].z == 1.0
+
+    def test_attributes_divided_by_w(self):
+        vertices = tuple(
+            TransformedVertex(
+                clip_position=Vec4(0, 0, 0, w), uv=Vec2(1.0, 2.0),
+                color=Vec3(0.5, 0.5, 0.5),
+            )
+            for w in (1.0, 2.0, 4.0)
+        )
+        prim = Primitive(
+            primitive_id=0, vertices=vertices, texture_id=0,
+            shader=ShaderProgram(),
+        )
+        screen = setup_primitive(prim, 10, 10)
+        assert screen.vertices[1].inv_w == pytest.approx(0.5)
+        assert screen.vertices[1].u_over_w == pytest.approx(0.5)
+        assert screen.vertices[2].v_over_w == pytest.approx(0.5)
+
+    def test_area2_sign_tracks_winding(self):
+        ccw = clip_primitive_from_ndc([(-1, -1, 0), (1, -1, 0), (0, 1, 0)])
+        cw = clip_primitive_from_ndc([(-1, -1, 0), (0, 1, 0), (1, -1, 0)])
+        a = setup_primitive(ccw, 10, 10).area2
+        b = setup_primitive(cw, 10, 10).area2
+        assert a * b < 0
+
+
+class TestBBoxAndOverlap:
+    def make_screen_tri(self):
+        # Covers screen pixels roughly (0,0)-(50,25).
+        prim = clip_primitive_from_ndc([(-1, 1, 0), (0, 1, 0), (-1, 0, 0)])
+        return setup_primitive(prim, 100, 50)
+
+    def test_bbox(self):
+        screen = self.make_screen_tri()
+        min_x, min_y, max_x, max_y = screen.bbox()
+        assert (min_x, min_y) == (0.0, 0.0)
+        assert (max_x, max_y) == (50.0, 25.0)
+
+    def test_overlaps_containing_rect(self):
+        screen = self.make_screen_tri()
+        assert screen.overlaps_rect(0, 0, 100, 50)
+
+    def test_rejects_far_rect(self):
+        screen = self.make_screen_tri()
+        assert not screen.overlaps_rect(60, 30, 100, 50)
+
+    def test_rejects_rect_in_bbox_but_outside_triangle(self):
+        """The corner of the bbox that the hypotenuse cuts away."""
+        screen = self.make_screen_tri()
+        assert not screen.overlaps_rect(45, 20, 50, 25)
+
+    def test_accepts_rect_crossing_edge(self):
+        screen = self.make_screen_tri()
+        assert screen.overlaps_rect(20, 10, 30, 20)
+
+    def test_primitive_id_passthrough(self):
+        prim = clip_primitive_from_ndc(
+            [(-1, 1, 0), (0, 1, 0), (-1, 0, 0)], pid=42
+        )
+        assert setup_primitive(prim, 10, 10).primitive_id == 42

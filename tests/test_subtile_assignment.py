@@ -1,0 +1,188 @@
+"""Tests for the subtile-to-SC assignment policies (Figure 8)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quad_grouping import SubtileLayout
+from repro.core.subtile_assignment import (
+    ASSIGNMENTS,
+    FLP3_PERIOD,
+    IDENTITY,
+    SubtileAssignment,
+    get_assignment,
+)
+from repro.core.tile_order import hilbert_order, s_order, scanline_order, z_order
+
+
+class TestRegistry:
+    def test_four_policies(self):
+        assert set(ASSIGNMENTS) == {"const", "flp1", "flp2", "flp3"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_assignment("flp9")
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SubtileAssignment("bad", "flip-everything")
+
+
+class TestConstPolicy:
+    def test_identity_everywhere(self):
+        tiles = z_order(4, 4)
+        perms = get_assignment("const").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        assert perms == [IDENTITY] * 16
+
+
+class TestInterleavedLayout:
+    @pytest.mark.parametrize("name", sorted(ASSIGNMENTS))
+    def test_flips_meaningless_for_fine_grained(self, name):
+        tiles = s_order(4, 4)
+        perms = get_assignment(name).permutation_sequence(
+            tiles, SubtileLayout.INTERLEAVED
+        )
+        assert perms == [IDENTITY] * 16
+
+
+class TestPermutationValidity:
+    @given(
+        st.sampled_from(sorted(ASSIGNMENTS)),
+        st.sampled_from(
+            [SubtileLayout.SQUARE, SubtileLayout.XSTRIPS, SubtileLayout.YSTRIPS]
+        ),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_permutation(self, name, layout, tx, ty):
+        tiles = s_order(tx, ty)
+        for perm in get_assignment(name).permutation_sequence(tiles, layout):
+            assert sorted(perm) == [0, 1, 2, 3]
+
+
+class TestFlp1SquareLayout:
+    def test_horizontal_step_flips_columns(self):
+        """Moving right: slots swap left/right so SCs continue across the edge."""
+        tiles = [(0, 0), (1, 0)]
+        perms = get_assignment("flp1").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        # Slot positions: 0=TL, 1=TR, 2=BL, 3=BR; flip_x swaps 0<->1, 2<->3.
+        assert perms[0] == (0, 1, 2, 3)
+        assert perms[1] == (1, 0, 3, 2)
+
+    def test_vertical_step_flips_rows(self):
+        tiles = [(0, 0), (0, 1)]
+        perms = get_assignment("flp1").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        assert perms[1] == (2, 3, 0, 1)
+
+    def test_shared_edge_gets_same_cores(self):
+        """The right column of tile t equals the left column of tile t+1."""
+        tiles = [(x, 0) for x in range(6)]
+        perms = get_assignment("flp1").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        for a, b in zip(perms, perms[1:]):
+            # a's right column (slots 1, 3) == b's left column (slots 0, 2).
+            assert a[1] == b[0]
+            assert a[3] == b[2]
+
+    def test_non_adjacent_step_keeps_binding(self):
+        tiles = [(0, 0), (3, 3)]
+        perms = get_assignment("flp1").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        assert perms[0] == perms[1]
+
+
+class TestFlp1Strips:
+    def test_ystrips_flip_on_vertical_step_only(self):
+        perms = get_assignment("flp1").permutation_sequence(
+            [(0, 0), (0, 1)], SubtileLayout.YSTRIPS
+        )
+        assert perms[1] == (3, 2, 1, 0)
+
+    def test_ystrips_ignore_horizontal_step(self):
+        perms = get_assignment("flp1").permutation_sequence(
+            [(0, 0), (1, 0)], SubtileLayout.YSTRIPS
+        )
+        assert perms[1] == IDENTITY
+
+    def test_xstrips_flip_on_horizontal_step_only(self):
+        perms = get_assignment("flp1").permutation_sequence(
+            [(0, 0), (1, 0)], SubtileLayout.XSTRIPS
+        )
+        assert perms[1] == (3, 2, 1, 0)
+
+    def test_ystrips_shared_edge_continuity(self):
+        """S-order + YSTRIPS: bottom strip's SC meets the next top strip."""
+        tiles = [(0, 0), (0, 1), (0, 2)]
+        perms = get_assignment("flp1").permutation_sequence(
+            tiles, SubtileLayout.YSTRIPS
+        )
+        for a, b in zip(perms, perms[1:]):
+            assert a[3] == b[0]  # moving down: bottom strip -> top strip
+
+
+class TestFlp2Fairness:
+    def edge_share_counts(self, name, tiles):
+        """How often each SC owns a subtile on the shared edge."""
+        perms = get_assignment(name).permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        counts = Counter()
+        for i in range(1, len(tiles)):
+            dx = tiles[i][0] - tiles[i - 1][0]
+            dy = tiles[i][1] - tiles[i - 1][1]
+            if abs(dx) + abs(dy) != 1:
+                continue
+            if dx:
+                entering = (0, 2) if dx > 0 else (1, 3)
+            else:
+                entering = (0, 1) if dy > 0 else (2, 3)
+            for slot in entering:
+                counts[perms[i][slot]] += 1
+        return counts
+
+    def test_flp1_favours_some_cores_on_hilbert(self):
+        """The paper's flp1 flaw: SC3 nearly always gets the shared edge
+        while SC0 rarely does (Fig 8d discussion)."""
+        tiles = hilbert_order(8, 8)
+        counts = self.edge_share_counts("flp1", tiles)
+        assert counts[3] > 2 * counts[0]
+
+    def test_flp2_spreads_shared_edges_on_hilbert(self):
+        tiles = hilbert_order(8, 8)
+        flp1 = self.edge_share_counts("flp1", tiles)
+        flp2 = self.edge_share_counts("flp2", tiles)
+        spread1 = max(flp1.values()) - min(flp1.values())
+        spread2 = max(flp2.values()) - min(flp2.values())
+        assert spread2 < spread1 / 4
+
+    def test_flp3_spreads_shared_edges_on_hilbert(self):
+        tiles = hilbert_order(8, 8)
+        flp1 = self.edge_share_counts("flp1", tiles)
+        flp3 = self.edge_share_counts("flp3", tiles)
+        spread1 = max(flp1.values()) - min(flp1.values())
+        spread3 = max(flp3.values()) - min(flp3.values())
+        assert spread3 < spread1 / 4
+
+
+class TestFlp3:
+    def test_extra_flip_every_period(self):
+        tiles = scanline_order(FLP3_PERIOD * 2, 1)
+        flp1 = get_assignment("flp1").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        flp3 = get_assignment("flp3").permutation_sequence(
+            tiles, SubtileLayout.SQUARE
+        )
+        assert flp1[: FLP3_PERIOD] == flp3[: FLP3_PERIOD]
+        assert flp1[FLP3_PERIOD] != flp3[FLP3_PERIOD]

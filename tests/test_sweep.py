@@ -1,0 +1,85 @@
+"""Tests for the design-space sweep utility."""
+
+import pytest
+
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.sweep import DesignSweep, ROW_FIELDS, best_row, rows_to_csv
+
+
+@pytest.fixture(scope="module")
+def runner(tiny_config):
+    return ExperimentRunner(tiny_config, games=["SWa"])
+
+
+@pytest.fixture(scope="module")
+def rows(runner):
+    sweep = DesignSweep(
+        groupings=["FG-xshift2", "CG-square"],
+        assignments=["const", "flp2"],
+        orders=["zorder"],
+        decoupled=[False, True],
+    )
+    return sweep.run(runner)
+
+
+class TestGrid:
+    def test_cross_product_size(self):
+        sweep = DesignSweep(
+            groupings=["A", "B"], assignments=["c"], orders=["o1", "o2"],
+            decoupled=[False],
+        )
+        assert len(sweep.design_points()) == 4
+
+    def test_names_unique(self):
+        sweep = DesignSweep()
+        names = [p.name for p in sweep.design_points()]
+        assert len(set(names)) == len(names)
+
+
+class TestRows:
+    def test_row_count(self, rows):
+        assert len(rows) == 8
+
+    def test_baseline_point_normalizes_to_one(self, rows):
+        base_row = next(
+            r for r in rows
+            if r.grouping == "FG-xshift2" and r.assignment == "const"
+            and not r.decoupled
+        )
+        assert base_row.l2_normalized == pytest.approx(1.0)
+        assert base_row.speedup == pytest.approx(1.0)
+
+    def test_cg_rows_reduce_l2(self, rows):
+        cg = [r for r in rows if r.grouping == "CG-square"]
+        fg = [r for r in rows if r.grouping == "FG-xshift2"]
+        assert max(r.l2_normalized for r in cg) < min(
+            r.l2_normalized for r in fg
+        ) + 1e-9
+
+    def test_decoupling_never_slows(self, rows):
+        by_knobs = {
+            (r.grouping, r.assignment, r.order): {} for r in rows
+        }
+        for r in rows:
+            by_knobs[(r.grouping, r.assignment, r.order)][r.decoupled] = r
+        for pair in by_knobs.values():
+            assert pair[True].speedup >= pair[False].speedup * 0.999
+
+
+class TestExportAndSelect:
+    def test_csv_round_trip(self, rows):
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(ROW_FIELDS)
+        assert len(lines) == len(rows) + 1
+
+    def test_best_by_speedup(self, rows):
+        winner = best_row(rows, "speedup")
+        assert winner.speedup == max(r.speedup for r in rows)
+
+    def test_best_by_l2_minimizes(self, rows):
+        winner = best_row(rows, "l2_accesses")
+        assert winner.l2_accesses == min(r.l2_accesses for r in rows)
+
+    def test_best_of_empty(self):
+        assert best_row([]) is None

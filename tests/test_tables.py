@@ -1,0 +1,26 @@
+"""Tests for the plain-text table formatter."""
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["longer", 2]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent widths
+
+    def test_floats_three_decimals(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_ints_unchanged(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out

@@ -1,0 +1,121 @@
+"""Tests for the tile traversal orders (Figure 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tile_order import (
+    TILE_ORDERS,
+    hilbert_order,
+    hilbert_rect_order,
+    s_order,
+    scanline_order,
+    tile_order,
+    z_order,
+)
+
+dims = st.integers(min_value=1, max_value=20)
+
+
+class TestPermutationProperty:
+    @given(dims, dims, st.sampled_from(sorted(TILE_ORDERS)))
+    @settings(max_examples=60, deadline=None)
+    def test_every_order_is_a_permutation_of_the_grid(self, tx, ty, name):
+        order = tile_order(name, tx, ty)
+        assert len(order) == tx * ty
+        assert set(order) == {(x, y) for x in range(tx) for y in range(ty)}
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(KeyError):
+            tile_order("spiral", 4, 4)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            scanline_order(0, 4)
+
+
+class TestScanline:
+    def test_row_major(self):
+        assert scanline_order(3, 2) == [
+            (0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)
+        ]
+
+
+class TestSOrder:
+    def test_serpentine_columns(self):
+        assert s_order(2, 3) == [
+            (0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)
+        ]
+
+    @given(dims, dims)
+    @settings(max_examples=40, deadline=None)
+    def test_consecutive_tiles_always_share_an_edge(self, tx, ty):
+        order = s_order(tx, ty)
+        for a, b in zip(order, order[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+class TestZOrder:
+    def test_first_quad_of_power_of_two(self):
+        order = z_order(4, 4)
+        assert order[:4] == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_aligned_windows_are_2x2_blocks(self):
+        """Z-order's locality: every aligned group of 4 is a 2x2 block."""
+        order = z_order(16, 16)
+        for k in range(0, len(order), 4):
+            window = order[k : k + 4]
+            xs = {x for x, _ in window}
+            ys = {y for _, y in window}
+            assert max(xs) - min(xs) == 1
+            assert max(ys) - min(ys) == 1
+
+    def test_non_power_of_two_still_complete(self):
+        order = z_order(5, 3)
+        assert len(order) == 15
+
+
+class TestHilbert:
+    def test_square_consecutive_adjacent(self):
+        order = hilbert_order(8, 8)
+        for a, b in zip(order, order[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_hilbert_locality_beats_z(self):
+        def mean_step(order):
+            steps = [
+                abs(a[0] - b[0]) + abs(a[1] - b[1])
+                for a, b in zip(order, order[1:])
+            ]
+            return sum(steps) / len(steps)
+
+        assert mean_step(hilbert_order(16, 16)) <= mean_step(z_order(16, 16))
+
+
+class TestHilbertRect:
+    def test_subframes_traversed_boustrophedonically(self):
+        """With 2x1 sub-frames of side 8, the second sub-frame follows."""
+        order = hilbert_rect_order(16, 8, subframe=8)
+        first_half = order[:64]
+        second_half = order[64:]
+        assert all(x < 8 for x, _ in first_half)
+        assert all(x >= 8 for x, _ in second_half)
+
+    def test_partial_subframes_clipped(self):
+        order = hilbert_rect_order(10, 6, subframe=8)
+        assert len(order) == 60
+
+    def test_rejects_non_power_of_two_subframe(self):
+        with pytest.raises(ValueError):
+            hilbert_rect_order(8, 8, subframe=6)
+
+    def test_within_subframe_steps_adjacent(self):
+        order = hilbert_rect_order(8, 8, subframe=8)
+        for a, b in zip(order, order[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_paper_scale_grid(self):
+        """62x24 tiles (Table II screen) is fully covered."""
+        order = hilbert_rect_order(62, 24)
+        assert len(order) == 62 * 24
+        assert len(set(order)) == 62 * 24

@@ -1,0 +1,108 @@
+"""Tests for the vector/matrix math primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.vec import Mat4, Vec2, Vec3, Vec4
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestVec2:
+    def test_add_sub(self):
+        a, b = Vec2(1, 2), Vec2(3, 5)
+        assert a + b == Vec2(4, 7)
+        assert b - a == Vec2(2, 3)
+
+    def test_scalar_multiply_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_dot_and_length(self):
+        assert Vec2(3, 4).dot(Vec2(3, 4)) == 25
+        assert Vec2(3, 4).length() == 5.0
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestVec3:
+    def test_cross_right_handed(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_cross_anticommutative(self):
+        a, b = Vec3(1, 2, 3), Vec3(4, 5, 6)
+        assert a.cross(b) == b.cross(a) * -1.0
+
+    def test_normalized_unit_length(self):
+        n = Vec3(3, 4, 0).normalized()
+        assert n.length() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec3(0, 0, 0).normalized()
+
+    @given(finite, finite, finite)
+    @settings(max_examples=50, deadline=None)
+    def test_dot_with_self_nonnegative(self, x, y, z):
+        v = Vec3(x, y, z)
+        assert v.dot(v) >= 0.0
+
+
+class TestVec4:
+    def test_perspective_divide(self):
+        v = Vec4(2, 4, 6, 2)
+        assert v.perspective_divide() == Vec3(1, 2, 3)
+
+    def test_perspective_divide_zero_w_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec4(1, 1, 1, 0).perspective_divide()
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec4(0, 0, 0, 1), Vec4(2, 4, 6, 3)
+        assert Vec4.lerp(a, b, 0.0) == a
+        assert Vec4.lerp(a, b, 1.0) == b
+        assert Vec4.lerp(a, b, 0.5) == Vec4(1, 2, 3, 2)
+
+    def test_from_vec3(self):
+        assert Vec4.from_vec3(Vec3(1, 2, 3)) == Vec4(1, 2, 3, 1)
+        assert Vec4.from_vec3(Vec3(1, 2, 3), 0.0).w == 0.0
+
+
+class TestMat4:
+    def test_identity_transform(self):
+        v = Vec4(1, 2, 3, 1)
+        assert Mat4.identity().transform(v) == v
+
+    def test_matmul_identity(self):
+        m = Mat4([[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]])
+        assert m @ Mat4.identity() == m
+        assert Mat4.identity() @ m == m
+
+    def test_matmul_composition(self):
+        """(A @ B) v == A (B v)."""
+        a = Mat4([[1, 0, 0, 2], [0, 1, 0, 3], [0, 0, 1, 4], [0, 0, 0, 1]])
+        b = Mat4([[2, 0, 0, 0], [0, 2, 0, 0], [0, 0, 2, 0], [0, 0, 0, 1]])
+        v = Vec4(1, 1, 1, 1)
+        assert (a @ b).transform(v) == a.transform(b.transform(v))
+
+    def test_transform_point_appends_w1(self):
+        m = Mat4([[1, 0, 0, 5], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]])
+        assert m.transform_point(Vec3(0, 0, 0)) == Vec4(5, 0, 0, 1)
+
+    def test_transform_direction_ignores_translation(self):
+        m = Mat4([[1, 0, 0, 5], [0, 1, 0, 7], [0, 0, 1, 9], [0, 0, 0, 1]])
+        assert m.transform_direction(Vec3(1, 0, 0)) == Vec3(1, 0, 0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Mat4([[1, 2, 3]])
+
+    def test_repr_roundtrippable_shape(self):
+        m = Mat4.identity()
+        assert "Mat4" in repr(m)

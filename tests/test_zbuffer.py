@@ -1,0 +1,100 @@
+"""Tests for the Z-Buffer and Early-Z test."""
+
+import numpy as np
+import pytest
+
+from repro.raster.zbuffer import ZBuffer
+
+
+class TestScalarPath:
+    def test_first_fragment_passes(self):
+        zb = ZBuffer(32)
+        assert zb.test_and_update(0, 0, 0.5) is True
+
+    def test_farther_fragment_rejected(self):
+        zb = ZBuffer(32)
+        zb.test_and_update(0, 0, 0.5)
+        assert zb.test_and_update(0, 0, 0.7) is False
+
+    def test_nearer_fragment_passes(self):
+        zb = ZBuffer(32)
+        zb.test_and_update(0, 0, 0.5)
+        assert zb.test_and_update(0, 0, 0.3) is True
+
+    def test_equal_depth_rejected(self):
+        zb = ZBuffer(32)
+        zb.test_and_update(0, 0, 0.5)
+        assert zb.test_and_update(0, 0, 0.5) is False
+
+    def test_no_depth_write_passes_but_keeps_depth(self):
+        zb = ZBuffer(32)
+        assert zb.test_and_update(0, 0, 0.5, depth_write=False) is True
+        assert zb.test_and_update(0, 0, 0.7) is True
+
+    def test_pixels_independent(self):
+        zb = ZBuffer(32)
+        zb.test_and_update(0, 0, 0.1)
+        assert zb.test_and_update(1, 0, 0.9) is True
+
+    def test_clear_resets_depth(self):
+        zb = ZBuffer(32)
+        zb.test_and_update(0, 0, 0.1)
+        zb.clear()
+        assert zb.test_and_update(0, 0, 0.9) is True
+
+    def test_rejects_odd_tile(self):
+        with pytest.raises(ValueError):
+            ZBuffer(31)
+
+
+class TestBlockPath:
+    def test_block_matches_scalar(self):
+        scalar, block = ZBuffer(8), ZBuffer(8)
+        z1 = np.linspace(0.1, 0.9, 16).reshape(4, 4)
+        z2 = np.full((4, 4), 0.5)
+        mask = np.ones((4, 4), dtype=bool)
+        expected1 = np.array(
+            [[scalar.test_and_update(x, y, z1[y, x]) for x in range(4)]
+             for y in range(4)]
+        ).T.reshape(4, 4)
+        got1 = block.test_block(0, 0, z1, mask)
+        # Compare element-wise via a fresh scalar pass.
+        assert got1.all()  # first pass always passes
+        got2 = block.test_block(0, 0, z2, mask)
+        for y in range(4):
+            for x in range(4):
+                assert got2[y, x] == (0.5 < z1[y, x])
+
+    def test_block_respects_mask(self):
+        zb = ZBuffer(8)
+        z = np.full((2, 2), 0.5)
+        mask = np.array([[True, False], [False, True]])
+        passed = zb.test_block(0, 0, z, mask)
+        assert passed[0, 0] and passed[1, 1]
+        assert not passed[0, 1] and not passed[1, 0]
+        assert zb.tests == 2
+
+    def test_block_offset_region(self):
+        zb = ZBuffer(8)
+        z = np.full((2, 2), 0.3)
+        zb.test_block(4, 4, z, np.ones((2, 2), dtype=bool))
+        assert zb.test_and_update(4, 4, 0.5) is False
+        assert zb.test_and_update(0, 0, 0.5) is True
+
+    def test_block_no_depth_write(self):
+        zb = ZBuffer(8)
+        z = np.full((2, 2), 0.3)
+        zb.test_block(0, 0, z, np.ones((2, 2), dtype=bool), depth_write=False)
+        assert zb.test_and_update(0, 0, 0.9) is True
+
+
+class TestStats:
+    def test_cull_rate(self):
+        zb = ZBuffer(8)
+        zb.test_and_update(0, 0, 0.5)
+        zb.test_and_update(0, 0, 0.9)
+        zb.test_and_update(0, 0, 0.8)
+        assert zb.cull_rate == pytest.approx(2 / 3)
+
+    def test_cull_rate_idle(self):
+        assert ZBuffer(8).cull_rate == 0.0

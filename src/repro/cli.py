@@ -13,6 +13,10 @@ Subcommands::
 Common options: ``--screen WxH`` picks the simulated resolution
 (default 512x256; ``--screen paper`` = the Table II 1960x768), and
 ``--json`` switches tabular output to JSON for scripting.
+
+Exit codes: 0 for clean success, 3 for a partial sweep (some design
+points failed but the campaign completed), 2 for a fatal error (also
+what argparse uses for invalid arguments).
 """
 
 from __future__ import annotations
@@ -28,15 +32,43 @@ from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS, DTexLConfig
 from repro.core.quad_grouping import GROUPINGS
 from repro.core.subtile_assignment import ASSIGNMENTS
 from repro.core.tile_order import TILE_ORDERS
+from repro.errors import ConfigError, ReproError, UnknownWorkloadError
 from repro.sim import ExperimentRunner, FrameRenderer, TraceReplayer
 from repro.workloads import GAMES, build_game
+
+#: Distinct exit codes for unattended campaign drivers.
+EXIT_OK = 0
+EXIT_FATAL = 2
+EXIT_PARTIAL = 3
 
 
 def _parse_screen(value: str) -> GPUConfig:
     if value == "paper":
         return GPUConfig()
-    width, height = value.lower().split("x")
-    return GPUConfig(screen_width=int(width), screen_height=int(height))
+    try:
+        width, height = value.lower().split("x")
+        return GPUConfig(screen_width=int(width), screen_height=int(height))
+    except (ValueError, TypeError) as error:
+        # ArgumentTypeError messages are printed verbatim by argparse;
+        # a plain ValueError's reason would be swallowed.
+        raise argparse.ArgumentTypeError(
+            f"invalid screen size {value!r} ({error}); "
+            "expected WIDTHxHEIGHT or 'paper'"
+        ) from None
+
+
+def _games(value: Optional[str]) -> Optional[List[str]]:
+    """Split and validate a ``--games A,B,...`` list."""
+    if not value:
+        return None
+    aliases = [alias.strip() for alias in value.split(",") if alias.strip()]
+    unknown = [alias for alias in aliases if alias not in GAMES]
+    if unknown:
+        raise UnknownWorkloadError(
+            f"unknown game(s) {', '.join(map(repr, unknown))}; "
+            f"choose from {', '.join(GAMES)}"
+        )
+    return aliases
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -57,9 +89,9 @@ def _designs(names: Optional[List[str]]) -> List[DTexLConfig]:
         try:
             out.append(PAPER_CONFIGURATIONS[name])
         except KeyError:
-            raise SystemExit(
+            raise ConfigError(
                 f"unknown design point {name!r}; see `python -m repro info`"
-            )
+            ) from None
     return out
 
 
@@ -131,8 +163,7 @@ def cmd_replay(args) -> int:
 
 def cmd_suite(args) -> int:
     config = args.screen
-    games = args.games.split(",") if args.games else None
-    runner = ExperimentRunner(config, games=games)
+    runner = ExperimentRunner(config, games=_games(args.games))
     designs = _designs(args.design)
     suites = [runner.run_suite(design) for design in designs]
     if args.json:
@@ -162,10 +193,19 @@ def cmd_suite(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.sim.resilience import ReplayBudget, RetryPolicy
     from repro.sim.sweep import DesignSweep, best_row, rows_to_csv
 
+    if args.resume and not args.checkpoint_dir:
+        raise ConfigError("--resume requires --checkpoint-dir")
+    if args.max_retries < 0:
+        raise ConfigError("--max-retries must be >= 0")
+    if args.budget is not None and args.budget <= 0:
+        raise ConfigError("--budget must be a positive quad count")
     runner = ExperimentRunner(
-        args.screen, games=args.games.split(",") if args.games else None
+        args.screen,
+        games=_games(args.games),
+        budget=ReplayBudget(max_quads=args.budget),
     )
     sweep = DesignSweep(
         groupings=args.grouping,
@@ -173,10 +213,27 @@ def cmd_sweep(args) -> int:
         orders=args.order,
         decoupled=[False, True] if args.both_architectures else [True],
     )
-    rows = sweep.run(runner)
+    report = sweep.run(
+        runner,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+    )
+    exit_code = {"success": EXIT_OK, "partial": EXIT_PARTIAL}.get(
+        report.outcome, EXIT_FATAL
+    )
+    for failure in report.failures:
+        print(
+            f"FAILED {failure.design_point}"
+            + (f" on {failure.game}" if failure.game else "")
+            + f": {failure.error_type}: {failure.message}"
+            + (f" (after {failure.attempts} attempts)"
+               if failure.attempts > 1 else ""),
+            file=sys.stderr,
+        )
     if args.csv:
-        print(rows_to_csv(rows), end="")
-        return 0
+        print(rows_to_csv(report.rows), end="")
+        return exit_code
     print(format_table(
         ["grouping", "assignment", "order", "decoupled", "L2 norm.",
          "speedup", "imbalance", "energy dec %"],
@@ -184,15 +241,23 @@ def cmd_sweep(args) -> int:
             [r.grouping, r.assignment, r.order, r.decoupled,
              r.l2_normalized, r.speedup, r.quad_imbalance,
              r.energy_decrease_pct]
-            for r in rows
+            for r in report.rows
         ],
         title=f"design-space sweep over {len(runner.games)} games",
     ))
-    winner = best_row(rows, "speedup")
-    print(f"\nbest by speedup: {winner.grouping}/{winner.assignment}/"
-          f"{winner.order} ({'decoupled' if winner.decoupled else 'coupled'})"
-          f" at {winner.speedup:.3f}x")
-    return 0
+    if report.resumed:
+        print(f"\nresumed {len(report.resumed)} completed design point(s) "
+              "from checkpoint")
+    winner = best_row(report.rows, "speedup")
+    if winner is not None:
+        print(f"\nbest by speedup: {winner.grouping}/{winner.assignment}/"
+              f"{winner.order} "
+              f"({'decoupled' if winner.decoupled else 'coupled'})"
+              f" at {winner.speedup:.3f}x")
+    if report.failures:
+        print(f"\n{len(report.failures)} design point failure(s); "
+              "see stderr for details")
+    return exit_code
 
 
 def cmd_animate(args) -> int:
@@ -290,6 +355,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--csv", action="store_true", help="emit CSV")
     p_sweep.add_argument("--games", metavar="A,B,...")
+    p_sweep.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist traces, completed rows and a run manifest here",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="reuse rows completed by a previous run of this campaign "
+             "(requires --checkpoint-dir)",
+    )
+    p_sweep.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-attempts for failures flagged transient (default 0)",
+    )
+    p_sweep.add_argument(
+        "--budget", type=int, default=None, metavar="QUADS",
+        help="kill any replay that processes more than QUADS quads",
+    )
     _add_common(p_sweep)
 
     p_anim = sub.add_parser("animate", help="multi-frame warm-cache run")
@@ -326,7 +408,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "animate": cmd_animate,
         "schedule": cmd_schedule,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        # Friendly one-liner instead of a traceback: bad names and bad
+        # values are user input errors, not simulator crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":

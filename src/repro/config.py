@@ -22,6 +22,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
+
 KIB = 1024
 MIB = 1024 * KIB
 
@@ -38,15 +40,15 @@ class CacheConfig:
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.line_bytes <= 0:
-            raise ValueError("cache size and line size must be positive")
+            raise ConfigError("cache size and line size must be positive")
         if self.size_bytes % self.line_bytes:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.name}: size {self.size_bytes} not a multiple of "
                 f"line size {self.line_bytes}"
             )
         num_lines = self.size_bytes // self.line_bytes
         if self.associativity <= 0 or num_lines % self.associativity:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.name}: {num_lines} lines not divisible by "
                 f"associativity {self.associativity}"
             )
@@ -70,7 +72,7 @@ class DRAMConfig:
 
     def __post_init__(self) -> None:
         if not 0 < self.min_latency <= self.max_latency:
-            raise ValueError("require 0 < min_latency <= max_latency")
+            raise ConfigError("require 0 < min_latency <= max_latency")
 
 
 @dataclass(frozen=True)
@@ -92,9 +94,9 @@ class ShaderConfig:
 
     def __post_init__(self) -> None:
         if self.max_warps <= 0 or self.issue_rate <= 0:
-            raise ValueError("max_warps and issue_rate must be positive")
+            raise ConfigError("max_warps and issue_rate must be positive")
         if self.miss_overhead_cycles < 0:
-            raise ValueError("miss_overhead_cycles must be non-negative")
+            raise ConfigError("miss_overhead_cycles must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -139,11 +141,11 @@ class GPUConfig:
 
     def __post_init__(self) -> None:
         if self.tile_size <= 0 or self.tile_size % 2:
-            raise ValueError("tile_size must be a positive even number")
+            raise ConfigError("tile_size must be a positive even number")
         if self.num_shader_cores not in (1, 2, 4, 8, 16):
-            raise ValueError("num_shader_cores must be a power of two <= 16")
+            raise ConfigError("num_shader_cores must be a power of two <= 16")
         if self.screen_width <= 0 or self.screen_height <= 0:
-            raise ValueError("screen dimensions must be positive")
+            raise ConfigError("screen dimensions must be positive")
 
     # -- derived geometry ---------------------------------------------------
 

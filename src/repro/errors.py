@@ -1,0 +1,77 @@
+"""Typed error taxonomy of the simulator.
+
+Every failure the harness can isolate, retry or report derives from
+:class:`ReproError`, so callers never have to catch bare ``ValueError``/
+``KeyError`` and guess whether the problem was an invalid configuration,
+a broken workload, a corrupted cached trace or a runaway replay.
+
+The hierarchy::
+
+    ReproError
+    ├── ConfigError            invalid GPU / design-point parameters
+    ├── WorkloadError          a scene or recipe cannot be built
+    │   └── UnknownWorkloadError   a game alias that does not exist
+    ├── TraceIntegrityError    a checkpointed trace failed verification
+    └── ReplayError            pass 2 cannot produce a result
+        └── BudgetExceededError    a replay blew its quad/cycle budget
+
+For backwards compatibility with callers (and the existing test-suite)
+that predate the taxonomy, :class:`ConfigError` and
+:class:`WorkloadError` are also ``ValueError`` subclasses and
+:class:`UnknownWorkloadError` is additionally a ``KeyError``.
+
+Errors carry a ``transient`` flag: the sweep's retry policy re-attempts
+only failures marked transient (e.g. a flaky I/O layer under a
+checkpoint store), never deterministic ones — retrying a deterministic
+crash would just triple a campaign's wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class of every simulator-raised failure."""
+
+    #: Whether a retry has any chance of succeeding.  Class-level
+    #: default; individual instances may override via the constructor.
+    transient: bool = False
+
+    def __init__(self, *args, transient: Optional[bool] = None):
+        super().__init__(*args)
+        if transient is not None:
+            self.transient = transient
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid GPU configuration or design-point parameter."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload (scene recipe, texture atlas, animation) cannot be built."""
+
+
+class UnknownWorkloadError(WorkloadError, KeyError):
+    """A game alias or workload name that does not exist."""
+
+    # KeyError.__str__ repr()s the first argument, which turns sentence
+    # messages into quoted blobs; plain Exception formatting reads better.
+    __str__ = Exception.__str__
+
+
+class TraceIntegrityError(ReproError):
+    """A checkpointed frame trace failed hash or structural verification."""
+
+
+class ReplayError(ReproError):
+    """Pass 2 cannot produce a result for a design point."""
+
+
+class BudgetExceededError(ReplayError):
+    """A replay exceeded its configured quad or cycle budget."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether the sweep's retry policy should re-attempt ``error``."""
+    return bool(getattr(error, "transient", False))

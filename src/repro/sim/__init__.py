@@ -9,9 +9,18 @@ evaluation sweeps cheap.
 from repro.sim.driver import FrameRenderer, FrameTrace, RenderStats, TileTraceEntry
 from repro.sim.replay import RunResult, TraceReplayer
 from repro.sim.experiment import ExperimentRunner, SuiteResult
+from repro.sim.checkpoint import TraceCheckpointStore, trace_key, verify_trace
+from repro.sim.resilience import (
+    FailureRecord,
+    ReplayBudget,
+    RetryPolicy,
+    RunManifest,
+)
 
 __all__ = [
     "FrameRenderer", "FrameTrace", "RenderStats", "TileTraceEntry",
     "TraceReplayer", "RunResult",
     "ExperimentRunner", "SuiteResult",
+    "TraceCheckpointStore", "trace_key", "verify_trace",
+    "FailureRecord", "ReplayBudget", "RetryPolicy", "RunManifest",
 ]

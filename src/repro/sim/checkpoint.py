@@ -1,0 +1,296 @@
+"""Durable frame-trace checkpoints and sweep progress.
+
+Pass 1 (the functional render) is the expensive half of the two-pass
+economy; a crashed campaign that throws its traces away pays it again.
+This module makes pass-1 results durable:
+
+* :func:`trace_key` — a content hash of ``(GPUConfig, workload recipe,
+  frame)``, so a checkpoint is only ever reused for the exact workload
+  and configuration that produced it.
+* :class:`TraceCheckpointStore` — serializes a
+  :class:`~repro.sim.driver.FrameTrace` to disk and verifies it on load:
+  a payload hash catches bit-level tampering, and structural invariants
+  (full tile coverage, quad counts against :class:`RenderStats`) catch
+  semantically broken traces that still unpickle.  Any verification
+  failure raises :class:`~repro.errors.TraceIntegrityError`.
+* :class:`SweepProgress` — an append-only journal of completed sweep
+  rows, keyed by a campaign hash, so a re-run with ``--resume`` skips
+  every design point that already finished.
+
+Checkpoint file layout (version 1): one ASCII JSON header line holding
+the key, payload SHA-256 and summary counts, a newline, then the raw
+pickle payload.  Writes are atomic (temp file + ``os.replace``) so a
+crash mid-save never leaves a half-written checkpoint that a later
+``--resume`` would trust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.config import GPUConfig
+from repro.errors import TraceIntegrityError
+from repro.sim.driver import FrameTrace
+from repro.workloads.recipe import SceneRecipe
+
+CHECKPOINT_VERSION = 1
+_HEADER_LIMIT = 4096  # sane upper bound on the header line
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=list)
+
+
+def config_fingerprint(config: GPUConfig) -> Dict[str, Any]:
+    """The GPU configuration as a plain, hashable dictionary."""
+    return dataclasses.asdict(config)
+
+
+def config_hash(config: GPUConfig) -> str:
+    """Stable hex digest identifying one GPU configuration."""
+    text = _canonical_json(config_fingerprint(config))
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def workload_fingerprint(recipe: SceneRecipe, frame: int = 0) -> Dict[str, Any]:
+    """The workload recipe (plus animation frame) as a plain dictionary."""
+    return {"recipe": dataclasses.asdict(recipe), "frame": frame}
+
+
+def trace_key(config: GPUConfig, recipe: SceneRecipe, frame: int = 0) -> str:
+    """Content hash keying one checkpointed trace.
+
+    Any change to the GPU configuration or the scene recipe produces a
+    different key, so stale checkpoints are never silently reused.
+    """
+    text = _canonical_json({
+        "version": CHECKPOINT_VERSION,
+        "config": config_fingerprint(config),
+        "workload": workload_fingerprint(recipe, frame),
+    })
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def verify_trace(trace: FrameTrace) -> None:
+    """Check a trace's structural invariants; raise on any violation.
+
+    The invariants are exactly the schedule-independent facts pass 1
+    guarantees: the tile map covers the full screen grid, every quad
+    sits in the tile that recorded it, and the per-tile streams agree
+    with the :class:`RenderStats` totals.
+    """
+    config = trace.config
+    expected_tiles = {
+        (x, y)
+        for x in range(config.tiles_x)
+        for y in range(config.tiles_y)
+    }
+    actual_tiles = set(trace.tiles)
+    if actual_tiles != expected_tiles:
+        missing = len(expected_tiles - actual_tiles)
+        extra = len(actual_tiles - expected_tiles)
+        raise TraceIntegrityError(
+            f"trace tile map does not cover the {config.tiles_x}x"
+            f"{config.tiles_y} grid ({missing} missing, {extra} extra)"
+        )
+    for tile, entry in trace.tiles.items():
+        for quad in entry.quads:
+            if quad.tile != tile:
+                raise TraceIntegrityError(
+                    f"quad recorded under tile {tile} claims tile "
+                    f"{quad.tile}"
+                )
+    if trace.total_quads != trace.stats.num_quads:
+        raise TraceIntegrityError(
+            f"trace holds {trace.total_quads} quads but RenderStats "
+            f"counted {trace.stats.num_quads}"
+        )
+    covered = sum(
+        quad.covered_pixels
+        for entry in trace.tiles.values()
+        for quad in entry.quads
+    )
+    if covered != trace.stats.pixels_shaded:
+        raise TraceIntegrityError(
+            f"trace covers {covered} pixels but RenderStats counted "
+            f"{trace.stats.pixels_shaded}"
+        )
+
+
+class TraceCheckpointStore:
+    """Disk-backed, integrity-checked store of frame traces."""
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.trace"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def save(self, key: str, trace: FrameTrace) -> Path:
+        """Atomically persist ``trace`` under ``key``."""
+        payload = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _canonical_json({
+            "version": CHECKPOINT_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "num_quads": trace.stats.num_quads,
+            "num_tiles": len(trace.tiles),
+        })
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".trace"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header.encode("ascii") + b"\n")
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, key: str) -> FrameTrace:
+        """Load and fully verify the trace stored under ``key``.
+
+        Raises :class:`TraceIntegrityError` for anything short of a
+        byte-identical, structurally sound checkpoint.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                header_line = handle.readline(_HEADER_LIMIT)
+                payload = handle.read()
+        except OSError as error:
+            raise TraceIntegrityError(
+                f"cannot read checkpoint {path}: {error}"
+            ) from error
+        try:
+            header = json.loads(header_line.decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TraceIntegrityError(
+                f"checkpoint {path} has a corrupt header"
+            ) from error
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise TraceIntegrityError(
+                f"checkpoint {path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        if header.get("key") != key:
+            raise TraceIntegrityError(
+                f"checkpoint {path} was written for key "
+                f"{header.get('key')!r}, not {key!r}"
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("sha256"):
+            raise TraceIntegrityError(
+                f"checkpoint {path} payload hash mismatch "
+                "(file corrupted or tampered with)"
+            )
+        try:
+            trace = pickle.loads(payload)
+        except Exception as error:
+            raise TraceIntegrityError(
+                f"checkpoint {path} payload does not unpickle: {error}"
+            ) from error
+        if not isinstance(trace, FrameTrace):
+            raise TraceIntegrityError(
+                f"checkpoint {path} holds a {type(trace).__name__}, "
+                "not a FrameTrace"
+            )
+        if len(trace.tiles) != header.get("num_tiles"):
+            raise TraceIntegrityError(
+                f"checkpoint {path} tile count disagrees with its header"
+            )
+        verify_trace(trace)
+        return trace
+
+
+class SweepProgress:
+    """Append-only journal of completed sweep rows for one campaign.
+
+    Each line is ``{"campaign": ..., "design": ..., "row": {...}}``;
+    rows of other campaigns sharing the file are ignored, and malformed
+    lines (e.g. from a crash mid-append) are skipped rather than trusted.
+    """
+
+    FILENAME = "sweep_progress.jsonl"
+
+    def __init__(self, directory: os.PathLike, campaign: str):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+        self.campaign = campaign
+
+    def completed_rows(self) -> Dict[str, Dict[str, Any]]:
+        """Design-point name -> recorded row dict, for this campaign."""
+        rows: Dict[str, Dict[str, Any]] = {}
+        if not self.path.is_file():
+            return rows
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (
+                    isinstance(record, dict)
+                    and record.get("campaign") == self.campaign
+                    and isinstance(record.get("row"), dict)
+                    and isinstance(record.get("design"), str)
+                ):
+                    rows[record["design"]] = record["row"]
+        return rows
+
+    def record(self, design: str, row: Dict[str, Any]) -> None:
+        """Append one completed row; flushed so a crash loses at most it."""
+        line = json.dumps(
+            {"campaign": self.campaign, "design": design, "row": row},
+            sort_keys=True,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def campaign_key(config: GPUConfig, games, baseline_name: str) -> str:
+    """Hash identifying one sweep campaign for resume matching.
+
+    Includes the GPU configuration, the game list and the baseline, but
+    *not* the full grid: a resumed run may extend the grid and still
+    reuse every previously completed point.
+    """
+    text = _canonical_json({
+        "config": config_fingerprint(config),
+        "games": list(games),
+        "baseline": baseline_name,
+    })
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def read_manifest(path: os.PathLike) -> Optional[Dict[str, Any]]:
+    """Load a previously written run manifest, or ``None`` if absent."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -3,6 +3,9 @@
 The expensive functional render (pass 1) is cached per game, so sweeping
 a dozen design points costs one render plus a dozen cheap replays per
 game — the same economy the paper gets from trace-driven simulation.
+Attaching a :class:`~repro.sim.checkpoint.TraceCheckpointStore` makes
+that cache durable: a re-run (or a crashed campaign's resume) loads
+verified traces from disk instead of rendering again.
 """
 
 from __future__ import annotations
@@ -13,49 +16,88 @@ from typing import Dict, Iterable, List, Optional
 from repro.analysis.metrics import geometric_mean
 from repro.config import GPUConfig, TEST_CONFIG
 from repro.core.dtexl import BASELINE, DTexLConfig
+from repro.errors import ReplayError, TraceIntegrityError
+from repro.sim.checkpoint import TraceCheckpointStore, trace_key
 from repro.sim.driver import FrameRenderer, FrameTrace
 from repro.sim.replay import RunResult, TraceReplayer
+from repro.sim.resilience import (
+    FailureRecord,
+    ReplayBudget,
+    RetryPolicy,
+    run_guarded,
+)
 from repro.texture.sampler import Sampler
 from repro.workloads.games import GAMES, build_game
 
 
 @dataclass
 class SuiteResult:
-    """One design point's results over the whole suite."""
+    """One design point's results over the whole suite.
+
+    ``failures`` is populated only by fault-isolated runs
+    (:meth:`ExperimentRunner.run_suite` with ``isolate_faults=True``):
+    each entry is a game that crashed and was skipped.
+    """
 
     design_point: str
     per_game: Dict[str, RunResult] = field(default_factory=dict)
+    failures: List[FailureRecord] = field(default_factory=list)
 
     @property
     def total_l2_accesses(self) -> int:
         return sum(r.l2_accesses for r in self.per_game.values())
 
+    def _baseline_run(self, baseline: "SuiteResult", game: str) -> RunResult:
+        try:
+            return baseline.per_game[game]
+        except KeyError:
+            raise ReplayError(
+                f"cannot compare {self.design_point!r} against "
+                f"{baseline.design_point!r}: baseline was not run over "
+                f"game {game!r} (baseline games: "
+                f"{sorted(baseline.per_game)})"
+            ) from None
+
     def mean_speedup_vs(self, baseline: "SuiteResult") -> float:
         """Geometric-mean speedup over the suite against ``baseline``."""
-        ratios = [
-            baseline.per_game[g].frame_cycles / r.frame_cycles
-            for g, r in self.per_game.items()
-        ]
+        ratios = []
+        for game, run in self.per_game.items():
+            base = self._baseline_run(baseline, game)
+            if run.frame_cycles == 0:
+                raise ReplayError(
+                    f"{self.design_point!r} reported zero frame cycles "
+                    f"for game {game!r}; speedup is undefined"
+                )
+            ratios.append(base.frame_cycles / run.frame_cycles)
+        if not ratios:
+            raise ReplayError(
+                f"{self.design_point!r} has no per-game results to "
+                "compute a mean speedup from"
+            )
         return geometric_mean(ratios)
 
     def mean_l2_decrease_vs(self, baseline: "SuiteResult") -> float:
         """Average percent decrease in L2 accesses vs ``baseline``."""
-        decreases = [
-            (baseline.per_game[g].l2_accesses - r.l2_accesses)
-            / baseline.per_game[g].l2_accesses * 100.0
-            for g, r in self.per_game.items()
-            if baseline.per_game[g].l2_accesses
-        ]
+        decreases = []
+        for game, run in self.per_game.items():
+            base = self._baseline_run(baseline, game)
+            if base.l2_accesses:
+                decreases.append(
+                    (base.l2_accesses - run.l2_accesses)
+                    / base.l2_accesses * 100.0
+                )
         return sum(decreases) / len(decreases) if decreases else 0.0
 
     def mean_energy_decrease_vs(self, baseline: "SuiteResult") -> float:
         """Average percent decrease in total GPU energy vs ``baseline``."""
-        decreases = [
-            (baseline.per_game[g].energy.total_mj - r.energy.total_mj)
-            / baseline.per_game[g].energy.total_mj * 100.0
-            for g, r in self.per_game.items()
-            if baseline.per_game[g].energy.total_mj
-        ]
+        decreases = []
+        for game, run in self.per_game.items():
+            base = self._baseline_run(baseline, game)
+            if base.energy.total_mj:
+                decreases.append(
+                    (base.energy.total_mj - run.energy.total_mj)
+                    / base.energy.total_mj * 100.0
+                )
         return sum(decreases) / len(decreases) if decreases else 0.0
 
 
@@ -67,22 +109,48 @@ class ExperimentRunner:
         config: GPUConfig = TEST_CONFIG,
         sampler: Optional[Sampler] = None,
         games: Optional[Iterable[str]] = None,
+        checkpoint_store: Optional[TraceCheckpointStore] = None,
+        budget: Optional[ReplayBudget] = None,
     ):
         self.config = config
         self.renderer = FrameRenderer(config, sampler)
-        self.replayer = TraceReplayer(config)
+        self.replayer = TraceReplayer(config, budget=budget)
         self.games: List[str] = list(games) if games is not None else list(GAMES)
+        self.checkpoint_store = checkpoint_store
         self._traces: Dict[str, FrameTrace] = {}
+        #: Functional renders actually performed (checkpoint hits skip it);
+        #: the probe the resume tests use to prove no trace was re-rendered.
+        self.renders_performed = 0
 
     # -- pass 1 cache -----------------------------------------------------------
 
     def trace_for(self, alias: str) -> FrameTrace:
-        """Render (once) and return the frame trace of one game."""
-        if alias not in self._traces:
-            workload = build_game(alias, self.config)
-            trace, _ = self.renderer.render(workload)
-            self._traces[alias] = trace
-        return self._traces[alias]
+        """Return one game's frame trace, rendering only when needed.
+
+        Lookup order: in-memory cache, then the checkpoint store (a
+        corrupted checkpoint is discarded and re-rendered), then a fresh
+        render whose result is checkpointed for the next run.
+        """
+        if alias in self._traces:
+            return self._traces[alias]
+        key = None
+        if self.checkpoint_store is not None and alias in GAMES:
+            key = trace_key(self.config, GAMES[alias].recipe)
+            if self.checkpoint_store.contains(key):
+                try:
+                    trace = self.checkpoint_store.load(key)
+                except TraceIntegrityError:
+                    pass  # fall through and re-render the real thing
+                else:
+                    self._traces[alias] = trace
+                    return trace
+        workload = build_game(alias, self.config)
+        trace, _ = self.renderer.render(workload)
+        self.renders_performed += 1
+        self._traces[alias] = trace
+        if key is not None:
+            self.checkpoint_store.save(key, trace)
+        return trace
 
     # -- pass 2 -----------------------------------------------------------------
 
@@ -90,11 +158,40 @@ class ExperimentRunner:
         """Replay one game under one design point."""
         return self.replayer.run(self.trace_for(alias), design)
 
-    def run_suite(self, design: DTexLConfig) -> SuiteResult:
-        """Replay every game of the suite under one design point."""
+    def run_suite(
+        self,
+        design: DTexLConfig,
+        isolate_faults: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+        fail_fast: bool = False,
+    ) -> SuiteResult:
+        """Replay every game of the suite under one design point.
+
+        With ``isolate_faults`` a crashing game becomes a
+        :class:`FailureRecord` on the result instead of aborting the
+        suite; failures flagged transient are retried per
+        ``retry_policy`` first.  ``fail_fast`` stops at the first failed
+        game — the sweep uses it because a design point missing any game
+        cannot produce an aggregate row, so its remaining replays are
+        wasted work.
+        """
         result = SuiteResult(design_point=design.name)
         for alias in self.games:
-            result.per_game[alias] = self.run(alias, design)
+            if not isolate_faults:
+                result.per_game[alias] = self.run(alias, design)
+                continue
+            run, failure = run_guarded(
+                lambda: self.run(alias, design),
+                design_point=design.name,
+                game=alias,
+                policy=retry_policy,
+            )
+            if failure is not None:
+                result.failures.append(failure)
+                if fail_fast:
+                    break
+            else:
+                result.per_game[alias] = run
         return result
 
     def run_baseline(self) -> SuiteResult:

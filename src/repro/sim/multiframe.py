@@ -15,8 +15,10 @@ from typing import List, Optional
 
 from repro.config import GPUConfig
 from repro.core.dtexl import DTexLConfig
+from repro.errors import TraceIntegrityError
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.sim.driver import FrameRenderer
+from repro.sim.checkpoint import TraceCheckpointStore, trace_key
+from repro.sim.driver import FrameRenderer, FrameTrace
 from repro.sim.replay import RunResult, TraceReplayer
 from repro.texture.sampler import Sampler
 from repro.workloads.animation import Animation
@@ -60,10 +62,40 @@ class AnimationResult:
 class AnimationSimulator:
     """Runs an animation under one design point with persistent caches."""
 
-    def __init__(self, config: GPUConfig, sampler: Optional[Sampler] = None):
+    def __init__(
+        self,
+        config: GPUConfig,
+        sampler: Optional[Sampler] = None,
+        checkpoint_store: Optional[TraceCheckpointStore] = None,
+    ):
         self.config = config
         self.renderer = FrameRenderer(config, sampler)
         self.replayer = TraceReplayer(config)
+        self.checkpoint_store = checkpoint_store
+        #: Functional renders actually performed (checkpoint hits skip it).
+        self.renders_performed = 0
+
+    def _frame_trace(self, animation: Animation, frame: int) -> FrameTrace:
+        """One frame's trace, via the checkpoint store when attached.
+
+        A corrupted checkpoint is discarded and the frame re-rendered;
+        resuming a killed multi-frame campaign therefore re-renders only
+        frames that never finished pass 1.
+        """
+        key = None
+        if self.checkpoint_store is not None:
+            key = trace_key(self.config, animation.recipe, frame=frame)
+            if self.checkpoint_store.contains(key):
+                try:
+                    return self.checkpoint_store.load(key)
+                except TraceIntegrityError:
+                    pass
+        workload = animation.recipe.build(self.config, frame=frame)
+        trace, _ = self.renderer.render(workload)
+        self.renders_performed += 1
+        if key is not None:
+            self.checkpoint_store.save(key, trace)
+        return trace
 
     def run(
         self,
@@ -75,8 +107,8 @@ class AnimationSimulator:
         gpu = design.effective_gpu_config(self.config)
         hierarchy = MemoryHierarchy(gpu)
         result = AnimationResult(design_point=design.name)
-        for workload in animation.frames(self.config):
-            trace, _ = self.renderer.render(workload)
+        for frame in range(animation.num_frames):
+            trace = self._frame_trace(animation, frame)
             if cold_caches_each_frame:
                 hierarchy.reset()
             result.frames.append(

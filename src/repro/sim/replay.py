@@ -23,6 +23,7 @@ from repro.raster.pipeline import (
     TileWork,
 )
 from repro.sim.driver import FrameTrace, TileTraceEntry
+from repro.sim.resilience import ReplayBudget
 
 
 @dataclass
@@ -91,9 +92,13 @@ class TraceReplayer:
         self,
         config: GPUConfig,
         energy_params: Optional[EnergyParams] = None,
+        budget: Optional[ReplayBudget] = None,
     ):
         self.config = config
         self.energy_model = EnergyModel(energy_params or EnergyParams())
+        #: Optional work ceiling; a replay that exceeds it raises
+        #: :class:`~repro.errors.BudgetExceededError` instead of running on.
+        self.budget = budget or ReplayBudget()
 
     def run(
         self,
@@ -151,10 +156,12 @@ class TraceReplayer:
                 )
             )
             per_tile_counts.append([s.num_quads for s in subtiles])
+            self.budget.check_quads(total_quads, design.name)
 
         replication = hierarchy.replication_factor()
         pipeline = RasterPipelineModel(gpu, design.decoupled)
         timing = pipeline.simulate(tile_works)
+        self.budget.check_cycles(timing.total_cycles, design.name)
 
         # Every tile's Color Buffer streams to the Frame Buffer once per
         # frame (64 B lines, schedule-independent write traffic).

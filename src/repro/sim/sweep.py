@@ -5,19 +5,45 @@ then assignments); :class:`DesignSweep` generalizes that: give it lists
 of knob values and it evaluates the cross product over the suite through
 a shared :class:`~repro.sim.experiment.ExperimentRunner`, producing flat
 result rows that can be printed or written to CSV.
+
+Execution is fault-isolated: a design point that crashes becomes a
+structured :class:`~repro.sim.resilience.FailureRecord` in the returned
+:class:`SweepReport` while the rest of the grid keeps running.  With a
+checkpoint directory, completed rows are journaled as they finish and
+pass-1 traces are persisted, so a killed campaign resumes from where it
+died without re-rendering anything; a JSON manifest summarising the run
+is written alongside.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import os
+import time
 from dataclasses import dataclass, field
 from itertools import product
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.metrics import per_tile_imbalance
 from repro.core.dtexl import DTexLConfig
+from repro.sim.checkpoint import (
+    SweepProgress,
+    TraceCheckpointStore,
+    campaign_key,
+    config_hash,
+)
 from repro.sim.experiment import ExperimentRunner, SuiteResult
+from repro.sim.resilience import (
+    FailureRecord,
+    OUTCOME_FATAL,
+    OUTCOME_PARTIAL,
+    OUTCOME_SUCCESS,
+    RetryPolicy,
+    RunManifest,
+    run_guarded,
+)
 
 #: Column order of sweep rows.
 ROW_FIELDS = [
@@ -25,6 +51,11 @@ ROW_FIELDS = [
     "l2_accesses", "l2_normalized", "speedup",
     "quad_imbalance", "energy_mj", "energy_decrease_pct",
 ]
+
+#: Subdirectory of the checkpoint dir holding pass-1 trace checkpoints.
+TRACE_SUBDIR = "traces"
+#: Manifest filename inside the checkpoint dir.
+MANIFEST_FILENAME = "manifest.json"
 
 
 @dataclass
@@ -44,6 +75,29 @@ class SweepRow:
 
     def as_dict(self) -> Dict[str, object]:
         return {name: getattr(self, name) for name in ROW_FIELDS}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "SweepRow":
+        """Rebuild a row journaled by a previous run."""
+        return SweepRow(**{name: payload[name] for name in ROW_FIELDS})
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep campaign produced."""
+
+    rows: List[SweepRow] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: Design-point names whose rows were loaded from a previous run.
+    resumed: List[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    manifest: Optional[RunManifest] = None
+
+    @property
+    def outcome(self) -> str:
+        if not self.failures:
+            return OUTCOME_SUCCESS
+        return OUTCOME_PARTIAL if self.rows else OUTCOME_FATAL
 
 
 @dataclass
@@ -74,14 +128,89 @@ class DesignSweep:
             )
         return points
 
-    def run(self, runner: ExperimentRunner) -> List[SweepRow]:
-        """Evaluate every point; rows are ordered as the grid iterates."""
-        base = runner.run_suite(self.baseline)
-        rows: List[SweepRow] = []
+    def run(
+        self,
+        runner: ExperimentRunner,
+        checkpoint_dir: Optional[os.PathLike] = None,
+        resume: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> SweepReport:
+        """Evaluate every point; rows are ordered as the grid iterates.
+
+        Per-design-point failures are isolated into
+        ``report.failures``; only a baseline that cannot run at all is
+        fatal (it propagates, since nothing can be normalized without
+        it).  With ``checkpoint_dir``, traces and completed rows are
+        persisted there and a manifest is written; with ``resume``,
+        rows journaled by a previous run of the same campaign are
+        reused instead of recomputed.
+        """
+        start = time.monotonic()
+        progress: Optional[SweepProgress] = None
+        if checkpoint_dir is not None:
+            checkpoint_dir = Path(checkpoint_dir)
+            if runner.checkpoint_store is None:
+                runner.checkpoint_store = TraceCheckpointStore(
+                    checkpoint_dir / TRACE_SUBDIR
+                )
+            progress = SweepProgress(
+                checkpoint_dir,
+                campaign_key(runner.config, runner.games, self.baseline.name),
+            )
+        completed = progress.completed_rows() if (progress and resume) else {}
+
+        report = SweepReport()
+        manifest = RunManifest(
+            config_hash=config_hash(runner.config),
+            games=list(runner.games),
+        )
+        base: Optional[SuiteResult] = None
         for design in self.design_points():
-            suite = runner.run_suite(design)
-            rows.append(self._row(design, suite, base, runner.games))
-        return rows
+            manifest.design_points_attempted.append(design.name)
+            if design.name in completed:
+                report.rows.append(SweepRow.from_dict(completed[design.name]))
+                report.resumed.append(design.name)
+                manifest.design_points_resumed.append(design.name)
+                continue
+            if base is None:
+                # Lazy: a fully resumed campaign never re-runs the
+                # baseline.  A baseline failure is fatal by design.
+                base = runner.run_suite(self.baseline)
+            suite = runner.run_suite(
+                design,
+                isolate_faults=True,
+                retry_policy=retry_policy,
+                fail_fast=True,
+            )
+            if suite.failures:
+                report.failures.extend(suite.failures)
+                manifest.design_points_failed.append(design.name)
+                continue
+            row, failure = run_guarded(
+                lambda: self._row(design, suite, base, runner.games),
+                design_point=design.name,
+                policy=retry_policy,
+            )
+            if failure is not None:
+                report.failures.append(failure)
+                manifest.design_points_failed.append(design.name)
+                continue
+            report.rows.append(row)
+            manifest.design_points_succeeded.append(design.name)
+            if progress is not None:
+                progress.record(design.name, row.as_dict())
+
+        manifest.failures = list(report.failures)
+        manifest.wall_time_s = time.monotonic() - start
+        report.wall_time_s = manifest.wall_time_s
+        report.manifest = manifest
+        if checkpoint_dir is not None:
+            from repro.analysis.export import write_run_manifest
+
+            write_run_manifest(
+                Path(checkpoint_dir) / MANIFEST_FILENAME, manifest
+            )
+        return report
 
     @staticmethod
     def _row(
@@ -105,8 +234,12 @@ class DesignSweep:
                 suite.total_l2_accesses / base.total_l2_accesses
                 if base.total_l2_accesses else 0.0
             ),
-            speedup=suite.mean_speedup_vs(base),
-            quad_imbalance=sum(imbalances) / len(imbalances),
+            speedup=(
+                suite.mean_speedup_vs(base) if suite.per_game else 0.0
+            ),
+            quad_imbalance=(
+                sum(imbalances) / len(imbalances) if imbalances else 0.0
+            ),
             energy_mj=energy,
             energy_decrease_pct=suite.mean_energy_decrease_vs(base),
         )
@@ -119,6 +252,17 @@ def rows_to_csv(rows: Sequence[SweepRow]) -> str:
     writer.writeheader()
     for row in rows:
         writer.writerow(row.as_dict())
+    return buffer.getvalue()
+
+
+def failures_to_csv(failures: Sequence[FailureRecord]) -> str:
+    """Serialize failure records as CSV, mirroring :func:`rows_to_csv`."""
+    fields = ["design_point", "game", "error_type", "message", "attempts"]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields)
+    writer.writeheader()
+    for failure in failures:
+        writer.writerow(failure.as_dict())
     return buffer.getvalue()
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator, List
 
 from repro.config import GPUConfig
+from repro.errors import UnknownWorkloadError, WorkloadError
 from repro.workloads.games import GAMES
 from repro.workloads.recipe import BuiltWorkload, SceneRecipe
 
@@ -27,7 +28,7 @@ class Animation:
 
     def __post_init__(self) -> None:
         if self.num_frames < 1:
-            raise ValueError("an animation needs at least one frame")
+            raise WorkloadError("an animation needs at least one frame")
 
     @staticmethod
     def of_game(alias: str, num_frames: int = 4) -> "Animation":
@@ -35,7 +36,7 @@ class Animation:
         try:
             spec = GAMES[alias]
         except KeyError:
-            raise KeyError(f"unknown game {alias!r}") from None
+            raise UnknownWorkloadError(f"unknown game {alias!r}") from None
         return Animation(recipe=spec.recipe, num_frames=num_frames)
 
     def frames(self, config: GPUConfig) -> Iterator[BuiltWorkload]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.errors import WorkloadError
 from repro.texture.texture import Texture
 
 
@@ -49,13 +50,13 @@ class TextureAtlas:
 
     def __init__(self, texture: Texture, grid: int = 4, padding_texels: int = 1):
         if grid < 1:
-            raise ValueError("grid must be at least 1")
+            raise WorkloadError("grid must be at least 1")
         if padding_texels < 0:
-            raise ValueError("padding must be non-negative")
+            raise WorkloadError("padding must be non-negative")
         cell_w = texture.width / grid
         cell_h = texture.height / grid
         if padding_texels * 2 >= min(cell_w, cell_h):
-            raise ValueError("padding leaves no usable texels per cell")
+            raise WorkloadError("padding leaves no usable texels per cell")
         self.texture = texture
         self.grid = grid
         self.padding_texels = padding_texels

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.config import GPUConfig
+from repro.errors import UnknownWorkloadError
 from repro.workloads.recipe import BuiltWorkload, SceneRecipe
 
 
@@ -138,7 +139,7 @@ def build_game(alias: str, config: GPUConfig) -> BuiltWorkload:
     try:
         spec = GAMES[alias]
     except KeyError:
-        raise KeyError(
+        raise UnknownWorkloadError(
             f"unknown game {alias!r}; choose from {game_aliases()}"
         ) from None
     return spec.build(config)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.config import GPUConfig
+from repro.errors import WorkloadError
 from repro.geometry.mesh import (
     DrawCommand,
     Mesh,
@@ -50,7 +51,7 @@ def plan_texture_sides(
     with a floor of 32; always returns at least one texture.
     """
     if budget_bytes <= 0:
-        raise ValueError("texture budget must be positive")
+        raise WorkloadError("texture budget must be positive")
     sides: List[int] = []
     remaining = budget_bytes
     while len(sides) < max_textures:

@@ -1,0 +1,231 @@
+"""Tests for trace checkpointing: round trips, tampering, resume."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.dtexl import BASELINE, DTEXL_BEST
+from repro.errors import TraceIntegrityError
+from repro.sim.checkpoint import (
+    SweepProgress,
+    TraceCheckpointStore,
+    campaign_key,
+    config_hash,
+    trace_key,
+    verify_trace,
+)
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.multiframe import AnimationSimulator
+from repro.sim.replay import TraceReplayer
+from repro.workloads.animation import Animation
+from repro.workloads.games import GAMES
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TraceCheckpointStore(tmp_path / "traces")
+
+
+@pytest.fixture(scope="module")
+def game_trace(tiny_config):
+    runner = ExperimentRunner(tiny_config, games=["SWa"])
+    return runner.trace_for("SWa")
+
+
+class TestKeys:
+    def test_key_is_stable(self, tiny_config):
+        recipe = GAMES["SWa"].recipe
+        assert trace_key(tiny_config, recipe) == trace_key(tiny_config, recipe)
+
+    def test_key_depends_on_config(self, tiny_config, small_config):
+        recipe = GAMES["SWa"].recipe
+        assert trace_key(tiny_config, recipe) != trace_key(small_config, recipe)
+
+    def test_key_depends_on_recipe_and_frame(self, tiny_config):
+        assert (
+            trace_key(tiny_config, GAMES["SWa"].recipe)
+            != trace_key(tiny_config, GAMES["GTr"].recipe)
+        )
+        assert (
+            trace_key(tiny_config, GAMES["SWa"].recipe, frame=0)
+            != trace_key(tiny_config, GAMES["SWa"].recipe, frame=1)
+        )
+
+    def test_config_hash_sensitivity(self, tiny_config, small_config):
+        assert config_hash(tiny_config) != config_hash(small_config)
+        assert config_hash(tiny_config) == config_hash(
+            dataclasses.replace(tiny_config)
+        )
+
+
+class TestRoundTrip:
+    def test_replay_results_identical(self, store, tiny_config, game_trace):
+        key = trace_key(tiny_config, GAMES["SWa"].recipe)
+        store.save(key, game_trace)
+        loaded = store.load(key)
+        replayer = TraceReplayer(tiny_config)
+        for design in (BASELINE, DTEXL_BEST):
+            original = replayer.run(game_trace, design)
+            reloaded = replayer.run(loaded, design)
+            assert reloaded == original
+
+    def test_contains(self, store, tiny_config, game_trace):
+        key = trace_key(tiny_config, GAMES["SWa"].recipe)
+        assert not store.contains(key)
+        store.save(key, game_trace)
+        assert store.contains(key)
+
+    def test_missing_checkpoint_raises(self, store):
+        with pytest.raises(TraceIntegrityError):
+            store.load("no-such-key")
+
+
+class TestTamperDetection:
+    def _saved(self, store, tiny_config, trace):
+        key = trace_key(tiny_config, GAMES["SWa"].recipe)
+        path = store.save(key, trace)
+        return key, path
+
+    def test_flipped_payload_byte(self, store, tiny_config, game_trace):
+        key, path = self._saved(store, tiny_config, game_trace)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceIntegrityError, match="hash mismatch"):
+            store.load(key)
+
+    def test_truncated_payload(self, store, tiny_config, game_trace):
+        key, path = self._saved(store, tiny_config, game_trace)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceIntegrityError):
+            store.load(key)
+
+    def test_corrupt_header(self, store, tiny_config, game_trace):
+        key, path = self._saved(store, tiny_config, game_trace)
+        blob = path.read_bytes()
+        path.write_bytes(b"not json at all\n" + blob.split(b"\n", 1)[1])
+        with pytest.raises(TraceIntegrityError):
+            store.load(key)
+
+    def test_key_mismatch(self, store, tiny_config, game_trace):
+        key, path = self._saved(store, tiny_config, game_trace)
+        other = "0" * 64
+        path.rename(store.path_for(other))
+        with pytest.raises(TraceIntegrityError, match="written for key"):
+            store.load(other)
+
+    def test_wrong_version(self, store, tiny_config, game_trace):
+        key, path = self._saved(store, tiny_config, game_trace)
+        header_line, payload = path.read_bytes().split(b"\n", 1)
+        header = json.loads(header_line)
+        header["version"] = 99
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+        )
+        with pytest.raises(TraceIntegrityError, match="version"):
+            store.load(key)
+
+
+class TestStructuralInvariants:
+    def test_good_trace_verifies(self, game_trace):
+        verify_trace(game_trace)
+
+    def test_missing_tile_detected(self, game_trace):
+        broken = dataclasses.replace(game_trace, tiles=dict(game_trace.tiles))
+        broken.tiles.pop(next(iter(broken.tiles)))
+        with pytest.raises(TraceIntegrityError, match="tile map"):
+            verify_trace(broken)
+
+    def test_quad_count_mismatch_detected(self, game_trace):
+        stats = dataclasses.replace(
+            game_trace.stats, num_quads=game_trace.stats.num_quads + 1
+        )
+        with pytest.raises(TraceIntegrityError, match="quads"):
+            verify_trace(dataclasses.replace(game_trace, stats=stats))
+
+    def test_pixel_count_mismatch_detected(self, game_trace):
+        stats = dataclasses.replace(
+            game_trace.stats, pixels_shaded=game_trace.stats.pixels_shaded + 1
+        )
+        with pytest.raises(TraceIntegrityError, match="pixels"):
+            verify_trace(dataclasses.replace(game_trace, stats=stats))
+
+
+class TestRunnerIntegration:
+    def test_second_runner_renders_nothing(self, tmp_path, tiny_config):
+        store = TraceCheckpointStore(tmp_path / "traces")
+        first = ExperimentRunner(
+            tiny_config, games=["SWa"], checkpoint_store=store
+        )
+        first.run_suite(BASELINE)
+        assert first.renders_performed == 1
+        second = ExperimentRunner(
+            tiny_config, games=["SWa"], checkpoint_store=store
+        )
+        result = second.run_suite(BASELINE)
+        assert second.renders_performed == 0
+        assert result.per_game["SWa"] == first.run_suite(BASELINE).per_game["SWa"]
+
+    def test_corrupted_checkpoint_is_rerendered(self, tmp_path, tiny_config):
+        store = TraceCheckpointStore(tmp_path / "traces")
+        first = ExperimentRunner(
+            tiny_config, games=["SWa"], checkpoint_store=store
+        )
+        first.trace_for("SWa")
+        key = trace_key(tiny_config, GAMES["SWa"].recipe)
+        path = store.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        second = ExperimentRunner(
+            tiny_config, games=["SWa"], checkpoint_store=store
+        )
+        second.trace_for("SWa")
+        assert second.renders_performed == 1
+        # ... and the re-render healed the checkpoint.
+        third = ExperimentRunner(
+            tiny_config, games=["SWa"], checkpoint_store=store
+        )
+        third.trace_for("SWa")
+        assert third.renders_performed == 0
+
+
+class TestMultiFrameCheckpoints:
+    def test_animation_resume_renders_zero(self, tmp_path, tiny_config):
+        store = TraceCheckpointStore(tmp_path / "traces")
+        animation = Animation.of_game("SWa", num_frames=2)
+        first = AnimationSimulator(tiny_config, checkpoint_store=store)
+        result1 = first.run(animation, BASELINE)
+        assert first.renders_performed == 2
+        second = AnimationSimulator(tiny_config, checkpoint_store=store)
+        result2 = second.run(animation, BASELINE)
+        assert second.renders_performed == 0
+        assert [f.l2_accesses for f in result2.frames] == [
+            f.l2_accesses for f in result1.frames
+        ]
+        assert result2.total_cycles == result1.total_cycles
+
+
+class TestSweepProgress:
+    def test_rows_scoped_by_campaign(self, tmp_path):
+        a = SweepProgress(tmp_path, "campaign-a")
+        b = SweepProgress(tmp_path, "campaign-b")
+        a.record("p1", {"speedup": 1.0})
+        b.record("p1", {"speedup": 2.0})
+        assert a.completed_rows()["p1"] == {"speedup": 1.0}
+        assert b.completed_rows()["p1"] == {"speedup": 2.0}
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        progress = SweepProgress(tmp_path, "c")
+        progress.record("p1", {"x": 1})
+        with open(progress.path, "a") as handle:
+            handle.write("{truncated json\n")
+        progress.record("p2", {"x": 2})
+        assert set(progress.completed_rows()) == {"p1", "p2"}
+
+    def test_campaign_key_depends_on_games(self, tiny_config):
+        assert campaign_key(tiny_config, ["SWa"], "baseline") != campaign_key(
+            tiny_config, ["SWa", "GTr"], "baseline"
+        )

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_FATAL, EXIT_OK, EXIT_PARTIAL, build_parser, main
 
 
 class TestParser:
@@ -69,9 +69,12 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["design_point"] == "baseline"
 
-    def test_replay_unknown_design_errors(self):
-        with pytest.raises(SystemExit):
-            main(["replay", "SWa", "--screen", "128x64", "-d", "wat"])
+    def test_replay_unknown_design_errors(self, capsys):
+        code = main(["replay", "SWa", "--screen", "128x64", "-d", "wat"])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "unknown design point" in err
+        assert "Traceback" not in err
 
     def test_render_writes_ppm(self, tmp_path, capsys):
         output = tmp_path / "frame.ppm"
@@ -116,3 +119,110 @@ class TestSweepAndAnimate:
         out = capsys.readouterr().out
         assert "warm-up ratio" in out
         assert "baseline" in out
+
+
+class TestFriendlyErrors:
+    """Bad names and bad values exit nonzero with a message, no traceback."""
+
+    def test_suite_unknown_game(self, capsys):
+        assert main(
+            ["suite", "--screen", "128x64", "--games", "SWa,NOPE"]
+        ) == EXIT_FATAL
+        err = capsys.readouterr().err
+        assert "unknown game" in err and "NOPE" in err
+        assert "Traceback" not in err
+
+    def test_sweep_unknown_game(self, capsys):
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "XX"]
+        ) == EXIT_FATAL
+        err = capsys.readouterr().err
+        assert "unknown game" in err
+        assert "Traceback" not in err
+
+    def test_suite_unknown_design(self, capsys):
+        assert main(
+            ["suite", "--screen", "128x64", "--games", "SWa", "-d", "nope"]
+        ) == EXIT_FATAL
+        err = capsys.readouterr().err
+        assert "unknown design point" in err
+        assert "Traceback" not in err
+
+    def test_invalid_screen_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "SWa", "--screen", "0x32"])
+        assert excinfo.value.code == 2
+        assert "screen dimensions must be positive" in capsys.readouterr().err
+
+    def test_malformed_screen_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "SWa", "--screen", "huge"])
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa", "--resume"]
+        ) == EXIT_FATAL
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_nonpositive_budget_rejected(self, capsys):
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa",
+             "--budget", "0"]
+        ) == EXIT_FATAL
+        assert "--budget" in capsys.readouterr().err
+
+
+class TestResilientSweepCli:
+    def test_budget_kills_baseline_fatally(self, capsys):
+        # The quad budget applies to every replay, baseline included;
+        # a baseline that cannot run is fatal, not partial.
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa",
+             "--grouping", "FG-xshift2", "--budget", "1"]
+        ) == EXIT_FATAL
+        err = capsys.readouterr().err
+        assert "quad budget" in err
+        assert "Traceback" not in err
+
+    def test_partial_failure_exit_code(self, capsys, monkeypatch):
+        from repro.sim.replay import TraceReplayer
+        from repro.errors import ReplayError
+
+        real_run = TraceReplayer.run
+
+        def sabotaged(self, trace, design, hierarchy=None):
+            if design.grouping == "CG-square":
+                raise ReplayError("injected")
+            return real_run(self, trace, design, hierarchy=hierarchy)
+
+        monkeypatch.setattr(TraceReplayer, "run", sabotaged)
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa",
+             "--grouping", "FG-xshift2", "CG-square"]
+        ) == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        assert "FAILED CG-square/const/zorder/dec" in captured.err
+        assert "ReplayError" in captured.err
+        assert "failure(s)" in captured.out
+
+    def test_checkpointed_sweep_resumes(self, tmp_path, capsys):
+        args = ["sweep", "--screen", "128x64", "--games", "SWa",
+                "--grouping", "FG-xshift2", "--csv",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == EXIT_OK
+        first_csv = capsys.readouterr().out
+        assert main(args + ["--resume"]) == EXIT_OK
+        assert capsys.readouterr().out == first_csv
+        assert (tmp_path / "manifest.json").is_file()
+        assert (tmp_path / "sweep_progress.jsonl").is_file()
+
+    def test_max_retries_flag_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--max-retries", "2", "--budget", "100",
+             "--checkpoint-dir", "d", "--resume"]
+        )
+        assert args.max_retries == 2
+        assert args.budget == 100
+        assert args.resume

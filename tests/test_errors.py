@@ -1,0 +1,74 @@
+"""Tests for the typed error taxonomy and its adoption."""
+
+import pytest
+
+from repro.config import CacheConfig, GPUConfig
+from repro.errors import (
+    BudgetExceededError,
+    ConfigError,
+    ReplayError,
+    ReproError,
+    TraceIntegrityError,
+    UnknownWorkloadError,
+    WorkloadError,
+    is_transient,
+)
+from repro.workloads.animation import Animation
+from repro.workloads.games import build_game
+from repro.workloads.recipe import plan_texture_sides
+
+
+class TestHierarchy:
+    def test_every_leaf_is_a_repro_error(self):
+        for leaf in (ConfigError, WorkloadError, UnknownWorkloadError,
+                     TraceIntegrityError, ReplayError, BudgetExceededError):
+            assert issubclass(leaf, ReproError)
+
+    def test_budget_is_a_replay_error(self):
+        assert issubclass(BudgetExceededError, ReplayError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(WorkloadError, ValueError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(UnknownWorkloadError, KeyError)
+
+    def test_unknown_workload_str_is_not_reprd(self):
+        error = UnknownWorkloadError("unknown game 'XX'")
+        assert str(error) == "unknown game 'XX'"
+
+
+class TestTransience:
+    def test_not_transient_by_default(self):
+        assert not is_transient(ReproError("boom"))
+
+    def test_constructor_flag(self):
+        assert is_transient(ReproError("boom", transient=True))
+        assert not is_transient(ReplayError("boom", transient=False))
+
+    def test_foreign_exceptions_are_not_transient(self):
+        assert not is_transient(RuntimeError("boom"))
+
+
+class TestAdoption:
+    def test_gpu_config_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(screen_width=0)
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=-1)
+
+    def test_unknown_game_raises_typed_key_error(self):
+        with pytest.raises(UnknownWorkloadError):
+            build_game("NOPE", GPUConfig(screen_width=128, screen_height=64))
+        with pytest.raises(UnknownWorkloadError):
+            Animation.of_game("NOPE")
+
+    def test_bad_animation_raises_workload_error(self):
+        with pytest.raises(WorkloadError):
+            Animation.of_game("SWa", num_frames=0)
+
+    def test_bad_texture_budget_raises_workload_error(self):
+        import random
+        with pytest.raises(WorkloadError):
+            plan_texture_sides(0, 4, random.Random(1))

@@ -19,7 +19,7 @@ def rows(runner):
         orders=["zorder"],
         decoupled=[False, True],
     )
-    return sweep.run(runner)
+    return sweep.run(runner).rows
 
 
 class TestGrid:
@@ -64,6 +64,21 @@ class TestRows:
             by_knobs[(r.grouping, r.assignment, r.order)][r.decoupled] = r
         for pair in by_knobs.values():
             assert pair[True].speedup >= pair[False].speedup * 0.999
+
+
+class TestEmptySuite:
+    def test_row_over_zero_games_has_zero_imbalance(self):
+        from repro.core.dtexl import BASELINE, DTEXL_BEST
+        from repro.sim.experiment import SuiteResult
+
+        row = DesignSweep._row(
+            DTEXL_BEST,
+            SuiteResult(design_point=DTEXL_BEST.name),
+            SuiteResult(design_point=BASELINE.name),
+            games=[],
+        )
+        assert row.quad_imbalance == 0.0
+        assert row.l2_normalized == 0.0
 
 
 class TestExportAndSelect:

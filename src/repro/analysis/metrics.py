@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Sequence
 
+from repro.errors import AnalysisError
+
 
 def mean_deviation(values: Sequence[float]) -> float:
     """Normalized mean deviation: mean(|v - mean|) / mean.
@@ -57,9 +59,9 @@ def per_tile_imbalance_distribution(
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean (used to average ratios across the suite)."""
     if not values:
-        raise ValueError("geometric mean of an empty sequence")
+        raise AnalysisError("geometric mean of an empty sequence")
     if any(v <= 0 for v in values):
-        raise ValueError("geometric mean requires positive values")
+        raise AnalysisError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

@@ -9,14 +9,17 @@ Subcommands::
     python -m repro sweep [--grouping ...]    # design-space grid, table or CSV
     python -m repro animate GAME [--frames N] # multi-frame warm-cache run
     python -m repro schedule [--grouping ...] # visualize a schedule as ASCII
+    python -m repro lint [PATHS ...]          # replint static checks
+    python -m repro sanitize GAME [-d NAME]   # runtime invariant sanitizer
 
 Common options: ``--screen WxH`` picks the simulated resolution
 (default 512x256; ``--screen paper`` = the Table II 1960x768), and
 ``--json`` switches tabular output to JSON for scripting.
 
-Exit codes: 0 for clean success, 3 for a partial sweep (some design
-points failed but the campaign completed), 2 for a fatal error (also
-what argparse uses for invalid arguments).
+Exit codes: 0 for clean success, 1 for lint findings or invariant
+violations, 3 for a partial sweep (some design points failed but the
+campaign completed), 2 for a fatal error (also what argparse uses for
+invalid arguments).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.workloads import GAMES, build_game
 
 #: Distinct exit codes for unattended campaign drivers.
 EXIT_OK = 0
+EXIT_FINDINGS = 1
 EXIT_FATAL = 2
 EXIT_PARTIAL = 3
 
@@ -290,6 +294,78 @@ def cmd_animate(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        LintEngine,
+        format_json,
+        format_text,
+        rule_ids,
+    )
+
+    if args.select:
+        unknown = set(args.select) - rule_ids()
+        if unknown:
+            raise ConfigError(
+                f"unknown lint rule(s) {', '.join(sorted(map(repr, unknown)))}; "
+                f"choose from {', '.join(sorted(rule_ids()))}"
+            )
+    engine = LintEngine(select=args.select or None)
+    findings = engine.lint_paths([Path(p) for p in args.paths])
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return EXIT_FINDINGS if findings else EXIT_OK
+
+
+def cmd_sanitize(args) -> int:
+    from repro.analysis.lint import TraceSanitizer, trace_digest
+
+    config = args.screen
+    designs = _designs(args.design)
+    workload = build_game(args.game, config)
+    trace, _ = FrameRenderer(config).render(workload)
+    digest = trace_digest(trace)
+    replayer = TraceReplayer(config)
+    sanitizer = TraceSanitizer(config)
+    rows = []
+    clean = True
+    for design in designs:
+        result = replayer.run(trace, design)
+        violations = sanitizer.check(
+            trace, result, design, expected_digest=digest
+        )
+        clean = clean and not violations
+        rows.append({
+            "design_point": design.name,
+            "ok": not violations,
+            "violations": [
+                {"invariant": v.invariant, "message": v.message}
+                for v in violations
+            ],
+        })
+    if args.json:
+        import json
+        print(json.dumps(
+            {"game": args.game, "trace_digest": digest, "designs": rows},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for row in rows:
+            status = "OK" if row["ok"] else "VIOLATED"
+            print(f"{row['design_point']:24s} {status}")
+            for violation in row["violations"]:
+                print(f"    [{violation['invariant']}] "
+                      f"{violation['message']}")
+        print(
+            f"\nsanitized {len(rows)} design point(s) on {args.game}: "
+            + ("all invariants hold" if clean else "invariants violated")
+        )
+    return EXIT_OK if clean else EXIT_FINDINGS
+
+
 def cmd_schedule(args) -> int:
     from repro.analysis.visualize import render_schedule_ascii
 
@@ -383,6 +459,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_anim)
 
+    p_lint = sub.add_parser(
+        "lint", help="run the replint static checks over source paths"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is what CI gates on)",
+    )
+    p_lint.add_argument(
+        "--select", nargs="+", metavar="RULE",
+        help="run only the named rules (default: all)",
+    )
+
+    p_sanitize = sub.add_parser(
+        "sanitize", help="replay a game and check pipeline invariants"
+    )
+    p_sanitize.add_argument("game", choices=sorted(GAMES))
+    p_sanitize.add_argument(
+        "-d", "--design", action="append", metavar="NAME",
+        help="design point (repeatable; default: baseline + HLB-flp2)",
+    )
+    _add_common(p_sanitize)
+
     p_sched = sub.add_parser("schedule", help="visualize a quad schedule")
     p_sched.add_argument("--grouping", default="CG-square",
                          choices=sorted(GROUPINGS))
@@ -407,6 +509,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "animate": cmd_animate,
         "schedule": cmd_schedule,
+        "lint": cmd_lint,
+        "sanitize": cmd_sanitize,
     }
     try:
         return handlers[args.command](args)

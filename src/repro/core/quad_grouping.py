@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List
 
+from repro.errors import ConfigError, UnknownNameError
+
 NUM_SLOTS = 4
 
 
@@ -64,7 +66,7 @@ class QuadGrouping:
         ``quads_per_side`` is tile_size/2 (16 for 32x32-pixel tiles).
         """
         if not (0 <= qx < quads_per_side and 0 <= qy < quads_per_side):
-            raise ValueError(
+            raise ConfigError(
                 f"quad ({qx}, {qy}) outside tile of side {quads_per_side}"
             )
         return self._fn(qx, qy, quads_per_side)
@@ -172,6 +174,6 @@ def get_grouping(name: str) -> QuadGrouping:
     try:
         return GROUPINGS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown quad grouping {name!r}; choose from {sorted(GROUPINGS)}"
         ) from None

@@ -32,6 +32,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.quad_grouping import NUM_SLOTS, SubtileLayout
 from repro.core.tile_order import TileCoord
+from repro.errors import ConfigError, UnknownNameError
 
 Permutation = Tuple[int, ...]  # perm[slot] = shader core
 
@@ -116,7 +117,7 @@ class SubtileAssignment:
 
     def __post_init__(self) -> None:
         if self.policy not in VALID_POLICIES:
-            raise ValueError(
+            raise ConfigError(
                 f"policy must be one of {VALID_POLICIES}, got {self.policy!r}"
             )
 
@@ -170,6 +171,6 @@ def get_assignment(name: str) -> SubtileAssignment:
     try:
         return ASSIGNMENTS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown assignment {name!r}; choose from {sorted(ASSIGNMENTS)}"
         ) from None

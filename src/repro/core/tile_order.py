@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Tuple
 
+from repro.errors import ConfigError, UnknownNameError
+
 TileCoord = Tuple[int, int]
 
 #: Side (in tiles) of the square sub-frames the rect-adapted Hilbert uses.
@@ -30,7 +32,7 @@ HILBERT_SUBFRAME = 8
 
 def _validate(tiles_x: int, tiles_y: int) -> None:
     if tiles_x <= 0 or tiles_y <= 0:
-        raise ValueError("tile grid dimensions must be positive")
+        raise ConfigError("tile grid dimensions must be positive")
 
 
 def scanline_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
@@ -127,7 +129,7 @@ def hilbert_rect_order(
     """
     _validate(tiles_x, tiles_y)
     if subframe <= 0 or subframe & (subframe - 1):
-        raise ValueError("subframe side must be a positive power of two")
+        raise ConfigError("subframe side must be a positive power of two")
     order = subframe.bit_length() - 1
     curve = [_hilbert_d2xy(order, d) for d in range(subframe * subframe)]
     frames_x = -(-tiles_x // subframe)
@@ -158,7 +160,7 @@ def tile_order(name: str, tiles_x: int, tiles_y: int) -> List[TileCoord]:
     try:
         fn = TILE_ORDERS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown tile order {name!r}; choose from {sorted(TILE_ORDERS)}"
         ) from None
     return fn(tiles_x, tiles_y)

@@ -9,9 +9,16 @@ The hierarchy::
 
     ReproError
     ├── ConfigError            invalid GPU / design-point parameters
+    │   └── UnknownNameError       a registry lookup (grouping / tile
+    │                              order / assignment) that does not exist
     ├── WorkloadError          a scene or recipe cannot be built
     │   └── UnknownWorkloadError   a game alias that does not exist
+    ├── AnalysisError          a metric cannot be computed from the
+    │                          given results (empty/degenerate inputs)
     ├── TraceIntegrityError    a checkpointed trace failed verification
+    ├── InvariantViolationError  a pipeline invariant broke mid-flight
+    │                            (quad conservation, counter consistency,
+    │                            barrier ordering — see the sanitizer)
     └── ReplayError            pass 2 cannot produce a result
         └── BudgetExceededError    a replay blew its quad/cycle budget
 
@@ -48,6 +55,14 @@ class ConfigError(ReproError, ValueError):
     """An invalid GPU configuration or design-point parameter."""
 
 
+class UnknownNameError(ConfigError, KeyError):
+    """A registry name (grouping, tile order, assignment) that does not exist."""
+
+    # KeyError.__str__ repr()s the first argument, which turns sentence
+    # messages into quoted blobs; plain Exception formatting reads better.
+    __str__ = Exception.__str__
+
+
 class WorkloadError(ReproError, ValueError):
     """A workload (scene recipe, texture atlas, animation) cannot be built."""
 
@@ -60,8 +75,31 @@ class UnknownWorkloadError(WorkloadError, KeyError):
     __str__ = Exception.__str__
 
 
+class AnalysisError(ReproError, ValueError):
+    """A metric cannot be computed from the given results."""
+
+
 class TraceIntegrityError(ReproError):
     """A checkpointed frame trace failed hash or structural verification."""
+
+
+class InvariantViolationError(ReproError):
+    """A structural invariant of the decoupled pipeline was violated.
+
+    Raised by the :class:`~repro.analysis.lint.sanitizer.TraceSanitizer`
+    when a trace/result pair breaks conservation (quads lost between the
+    trace and the scheduler), monotonicity (negative or shrinking cycle
+    counts), cache-counter consistency (misses exceeding accesses), the
+    raster-stage barrier ordering, or checkpoint-hash agreement.
+
+    ``invariant`` names the violated invariant so campaign tooling can
+    aggregate failures by class rather than by message text.
+    """
+
+    def __init__(self, *args, invariant: str = "",
+                 transient: Optional[bool] = None):
+        super().__init__(*args, transient=transient)
+        self.invariant = invariant
 
 
 class ReplayError(ReproError):

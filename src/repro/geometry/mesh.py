@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 from repro.geometry.vec import Mat4, Vec2, Vec3
+from repro.errors import WorkloadError
 
 #: Bytes occupied by one vertex in the vertex buffer, used to map vertex
 #: fetches onto vertex-cache lines (position 12B + uv 8B + color 12B,
@@ -45,9 +46,9 @@ class ShaderProgram:
 
     def __post_init__(self) -> None:
         if self.alu_cycles < 1:
-            raise ValueError("alu_cycles must be >= 1")
+            raise WorkloadError("alu_cycles must be >= 1")
         if self.texture_samples < 0:
-            raise ValueError("texture_samples must be >= 0")
+            raise WorkloadError("texture_samples must be >= 0")
 
 
 @dataclass
@@ -60,11 +61,11 @@ class Mesh:
 
     def __post_init__(self) -> None:
         if len(self.indices) % 3:
-            raise ValueError("index count must be a multiple of 3")
+            raise WorkloadError("index count must be a multiple of 3")
         if self.indices and max(self.indices) >= len(self.vertices):
-            raise ValueError("index out of range of vertex buffer")
+            raise WorkloadError("index out of range of vertex buffer")
         if self.indices and min(self.indices) < 0:
-            raise ValueError("negative vertex index")
+            raise WorkloadError("negative vertex index")
 
     @property
     def num_triangles(self) -> int:

@@ -16,6 +16,7 @@ from typing import Iterator, List, Sequence
 
 from repro.geometry.mesh import DrawCommand, ShaderProgram
 from repro.geometry.vertex_stage import TransformedVertex
+from repro.errors import WorkloadError
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,7 @@ class Primitive:
 
     def __post_init__(self) -> None:
         if len(self.vertices) != 3:
-            raise ValueError("a primitive is a triangle: need 3 vertices")
+            raise WorkloadError("a primitive is a triangle: need 3 vertices")
 
     def with_vertices(self, vertices: Sequence[TransformedVertex]) -> "Primitive":
         """Copy with replaced vertices (used by the clipper)."""
@@ -62,7 +63,7 @@ class PrimitiveAssembler:
         :meth:`repro.geometry.vertex_stage.VertexStage.run`.
         """
         if len(transformed) != len(draw.mesh.indices):
-            raise ValueError(
+            raise WorkloadError(
                 "transformed vertex stream does not match the index buffer"
             )
         for i in range(0, len(transformed), 3):

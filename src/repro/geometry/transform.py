@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 
 from repro.geometry.vec import Mat4, Vec2, Vec3
+from repro.errors import WorkloadError
 
 
 def translate(t: Vec3) -> Mat4:
@@ -63,7 +64,7 @@ def look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4:
 def perspective(fov_y_rad: float, aspect: float, near: float, far: float) -> Mat4:
     """OpenGL-style perspective projection (clip z in [-w, w])."""
     if near <= 0 or far <= near:
-        raise ValueError("require 0 < near < far")
+        raise WorkloadError("require 0 < near < far")
     f = 1.0 / math.tan(fov_y_rad / 2.0)
     return Mat4(
         [
@@ -81,7 +82,7 @@ def orthographic(
 ) -> Mat4:
     """Orthographic projection (used by the 2D games)."""
     if right == left or top == bottom or far == near:
-        raise ValueError("degenerate orthographic volume")
+        raise WorkloadError("degenerate orthographic volume")
     return Mat4(
         [
             [2 / (right - left), 0, 0, -(right + left) / (right - left)],

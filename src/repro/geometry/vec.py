@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Tuple
 
+from repro.errors import WorkloadError
+
 
 @dataclass(frozen=True)
 class Vec2:
@@ -75,7 +77,7 @@ class Vec3:
     def normalized(self) -> "Vec3":
         n = self.length()
         if n == 0.0:
-            raise ValueError("cannot normalize a zero vector")
+            raise WorkloadError("cannot normalize a zero vector")
         return self * (1.0 / n)
 
     def as_tuple(self) -> Tuple[float, float, float]:
@@ -146,7 +148,7 @@ class Mat4:
             tuple(float(v) for v in row) for row in rows
         )
         if len(self.rows) != 4 or any(len(r) != 4 for r in self.rows):
-            raise ValueError("Mat4 requires 4 rows of 4 values")
+            raise WorkloadError("Mat4 requires 4 rows of 4 values")
 
     @staticmethod
     def identity() -> "Mat4":

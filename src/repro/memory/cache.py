@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.config import CacheConfig
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -62,7 +63,7 @@ class Cache:
     def __post_init__(self) -> None:
         self._line_shift = self.config.line_bytes.bit_length() - 1
         if (1 << self._line_shift) != self.config.line_bytes:
-            raise ValueError("line size must be a power of two")
+            raise ConfigError("line size must be a power of two")
         self._num_sets = self.config.num_sets
         self._sets: List[OrderedDict] = [
             OrderedDict() for _ in range(self._num_sets)

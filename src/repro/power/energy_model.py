@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class EnergyParams:
@@ -46,7 +48,7 @@ class EnergyParams:
             "sc_issue_nj", "fixed_function_quad_nj", "static_power_w",
         ):
             if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+                raise ConfigError(f"{name} must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.raster.color_buffer import ColorBuffer
+from repro.errors import WorkloadError
 
 #: Source alpha used for blended (transparent) draws.
 DEFAULT_BLEND_ALPHA = 0.5
@@ -22,7 +23,7 @@ class BlendingUnit:
 
     def __init__(self, alpha: float = DEFAULT_BLEND_ALPHA):
         if not 0.0 <= alpha <= 1.0:
-            raise ValueError("alpha must be within [0, 1]")
+            raise WorkloadError("alpha must be within [0, 1]")
         self.alpha = alpha
         self.pixels_blended = 0
         self.pixels_written = 0

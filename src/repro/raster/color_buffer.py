@@ -14,6 +14,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.tile_order import TileCoord
+from repro.errors import ConfigError
 
 
 class ColorBuffer:
@@ -21,7 +22,7 @@ class ColorBuffer:
 
     def __init__(self, tile_size: int, num_banks: int = 4):
         if tile_size <= 0 or tile_size % 2:
-            raise ValueError("tile_size must be a positive even number")
+            raise ConfigError("tile_size must be a positive even number")
         self.tile_size = tile_size
         self.num_banks = num_banks
         self.colors = np.zeros((tile_size, tile_size, 3), dtype=np.float64)

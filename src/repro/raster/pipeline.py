@@ -36,7 +36,7 @@ finish before its input has finished.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from repro.config import GPUConfig
@@ -97,6 +97,12 @@ class FrameTiming:
     #: Per tile, per SC: Fragment-stage cycles (feeds the Fig 14 violins).
     per_tile_sc_cycles: List[List[int]]
     fetch_cycles_total: int = 0
+    #: Per tile, per stage (EZ, FRAG, BLEND), per unit: the cycle at
+    #: which that unit completed the stage for that tile.  This is the
+    #: barrier-ordering evidence the trace sanitizer audits: stage
+    #: completions must be non-decreasing along each unit's chain and
+    #: ordered EZ <= FRAG <= BLEND within a tile.
+    per_tile_stage_ends: List[List[List[int]]] = field(default_factory=list)
 
     @property
     def sc_idle_cycles(self) -> List[int]:
@@ -151,6 +157,7 @@ class RasterPipelineModel:
             core.reset()
 
         per_tile_sc: List[List[int]] = []
+        per_tile_stage_ends: List[List[List[int]]] = []
         fetch_total = 0
 
         # Completion times; stage order: EZ(0), FRAG(1), BLEND(2).
@@ -203,6 +210,7 @@ class RasterPipelineModel:
                         prev_finish = finish
                     last_end = max(last_end, end[2][b])
                 frag_starts.append(tile_starts)
+                per_tile_stage_ends.append([row[:] for row in end])
             else:
                 avail = fetch_end
                 for s in range(3):
@@ -218,6 +226,11 @@ class RasterPipelineModel:
                     avail = begin + 1
                     prev_finish = finish
                 last_end = max(last_end, end_stage[2])
+                # Coupled barriers synchronise all units per stage, so
+                # every unit shares the stage's completion time.
+                per_tile_stage_ends.append(
+                    [[end_stage[s]] * n_units for s in range(3)]
+                )
 
         return FrameTiming(
             total_cycles=last_end,
@@ -225,4 +238,5 @@ class RasterPipelineModel:
             sc_issue_cycles=[core.issue_cycles for core in self.cores],
             per_tile_sc_cycles=per_tile_sc,
             fetch_cycles_total=fetch_total,
+            per_tile_stage_ends=per_tile_stage_ends,
         )

@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 
 class ZBuffer:
     """Depth buffer for one tile."""
 
     def __init__(self, tile_size: int):
         if tile_size <= 0 or tile_size % 2:
-            raise ValueError("tile_size must be a positive even number")
+            raise ConfigError("tile_size must be a positive even number")
         self.tile_size = tile_size
         self.depth = np.full((tile_size, tile_size), np.inf, dtype=np.float64)
         self.tests = 0

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.config import ShaderConfig
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class WarpCost:
 
     def __post_init__(self) -> None:
         if self.compute_cycles < 0 or self.stall_cycles < 0:
-            raise ValueError("cycle counts must be non-negative")
+            raise ConfigError("cycle counts must be non-negative")
 
 
 @dataclass(frozen=True)

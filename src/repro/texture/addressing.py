@@ -10,6 +10,8 @@ at the cache level.
 
 from __future__ import annotations
 
+from repro.errors import WorkloadError
+
 _B = [0x5555555555555555, 0x3333333333333333, 0x0F0F0F0F0F0F0F0F,
       0x00FF00FF00FF00FF, 0x0000FFFF0000FFFF]
 _S = [1, 2, 4, 8, 16]
@@ -40,14 +42,14 @@ def _compact1by1(n: int) -> int:
 def morton_encode(x: int, y: int) -> int:
     """Interleave the bits of (x, y) into a Morton code."""
     if x < 0 or y < 0:
-        raise ValueError("morton coordinates must be non-negative")
+        raise WorkloadError("morton coordinates must be non-negative")
     return _part1by1(x) | (_part1by1(y) << 1)
 
 
 def morton_decode(code: int) -> tuple:
     """Recover (x, y) from a Morton code."""
     if code < 0:
-        raise ValueError("morton code must be non-negative")
+        raise WorkloadError("morton code must be non-negative")
     return _compact1by1(code), _compact1by1(code >> 1)
 
 

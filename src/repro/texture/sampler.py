@@ -16,6 +16,7 @@ from enum import Enum
 from typing import List, Tuple
 
 from repro.texture.texture import Texture
+from repro.errors import ConfigError
 
 
 class FilterMode(Enum):
@@ -63,7 +64,7 @@ class Sampler:
         max_anisotropy: int = 4,
     ):
         if max_anisotropy < 1:
-            raise ValueError("max_anisotropy must be >= 1")
+            raise ConfigError("max_anisotropy must be >= 1")
         self.filter_mode = filter_mode
         self.max_anisotropy = max_anisotropy
 
@@ -120,7 +121,7 @@ class Sampler:
                 ):
                     texels.append((x, y, level))
         else:  # pragma: no cover - enum is exhaustive
-            raise ValueError(f"unknown filter mode {self.filter_mode}")
+            raise ConfigError(f"unknown filter mode {self.filter_mode}")
 
         lines: List[int] = []
         seen = set()
@@ -147,7 +148,7 @@ class Sampler:
         import numpy as np
 
         if self.filter_mode is not FilterMode.BILINEAR:
-            raise ValueError("batch path only supports bilinear filtering")
+            raise ConfigError("batch path only supports bilinear filtering")
         widths = np.array(
             [m.width for m in texture.mip_levels], dtype=np.int64
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.texture.addressing import morton_encode
+from repro.errors import WorkloadError
 
 TEXEL_BYTES = 4  # RGBA8
 LINE_BYTES = 64
@@ -50,7 +51,7 @@ class Texture:
         seed: int = 0,
     ):
         if not (_is_pow2(width) and _is_pow2(height)):
-            raise ValueError("texture dimensions must be powers of two")
+            raise WorkloadError("texture dimensions must be powers of two")
         self.texture_id = texture_id
         self.width = width
         self.height = height

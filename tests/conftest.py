@@ -16,6 +16,34 @@ from repro.workloads.games import build_game
 from repro.workloads.recipe import SceneRecipe
 
 
+@pytest.fixture(autouse=True)
+def sanitize_every_replay(monkeypatch):
+    """Auto-sanitize every successful replay the suite performs.
+
+    Wraps :meth:`TraceReplayer.run` so each trace/result pair the tests
+    produce is walked by the :class:`TraceSanitizer`; a replay that
+    silently breaks a pipeline invariant fails its test even when the
+    test itself only asserted something narrower.
+    """
+    from repro.analysis.lint.sanitizer import TraceSanitizer
+    from repro.sim.replay import TraceReplayer
+
+    original = TraceReplayer.run
+
+    def run(self, trace, design, hierarchy=None):
+        result = original(self, trace, design, hierarchy)
+        violations = TraceSanitizer(self.config).check(trace, result, design)
+        if violations:
+            detail = "; ".join(str(v) for v in violations)
+            pytest.fail(
+                f"replay of {design.name!r} violated pipeline "
+                f"invariant(s): {detail}"
+            )
+        return result
+
+    monkeypatch.setattr(TraceReplayer, "run", run)
+
+
 @pytest.fixture(scope="session")
 def tiny_config() -> GPUConfig:
     """4x2 tiles — big enough for every tile order, small enough to fly."""

@@ -1,0 +1,129 @@
+"""The archcheck baseline: record pre-existing findings once, ratchet.
+
+A whole-program gate switched on late in a repository's life faces a
+dilemma: fail on everything (and get switched off), or waive
+everything (and protect nothing).  The baseline resolves it — every
+*pre-existing* finding is recorded once, by fingerprint, with a human
+justification, and CI fails only on findings **not** in the baseline.
+The file only ever shrinks: fixing a violation makes its entry stale
+(reported, so it gets deleted), while new violations are never added
+automatically — ``--update-baseline`` writes ``TODO`` justifications
+that themselves fail the gate until a human replaces them.
+
+Fingerprints are location-independent (module pairs, cycle member
+sets, entry-point/mutation pairs) so reformatting or moving code never
+invalidates the baseline, only genuine architectural change does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.checks_common import Finding
+from repro.errors import ConfigError
+
+#: Placeholder written by ``--update-baseline``; rejected by the gate.
+TODO_JUSTIFICATION = "TODO: justify this waiver or fix the violation"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> justification for accepted findings."""
+
+    path: Path
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigError(
+                f"cannot read archcheck baseline {path}: {error}"
+            ) from None
+        entries_raw = raw.get("entries")
+        if not isinstance(entries_raw, list):
+            raise ConfigError(
+                f"archcheck baseline {path} must contain an 'entries' list"
+            )
+        entries: Dict[str, str] = {}
+        for row in entries_raw:
+            if not isinstance(row, dict) or "fingerprint" not in row:
+                raise ConfigError(
+                    f"malformed baseline entry in {path}: {row!r}"
+                )
+            entries[row["fingerprint"]] = str(row.get("justification", ""))
+        return cls(path=path, entries=entries)
+
+    # -- the ratchet ----------------------------------------------------------
+
+    def unjustified(self) -> List[Finding]:
+        """Entries whose justification is empty or still the TODO stub."""
+        findings = []
+        for fingerprint in sorted(self.entries):
+            justification = self.entries[fingerprint].strip()
+            if justification and justification != TODO_JUSTIFICATION:
+                continue
+            findings.append(Finding(
+                path=str(self.path), line=0, col=0,
+                rule="unjustified-baseline",
+                message=(
+                    f"baseline entry {fingerprint} has no justification; "
+                    "every waiver must say why the violation is acceptable"
+                ),
+            ))
+        return findings
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (new, baselined) and list stale entries."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        seen: set = set()
+        for finding in findings:
+            if finding.fingerprint and finding.fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, baselined, stale
+
+    # -- writing --------------------------------------------------------------
+
+    def write_updated(self, findings: Sequence[Finding]) -> None:
+        """Rewrite the baseline to exactly the current findings.
+
+        Existing justifications are preserved; genuinely new entries
+        get the TODO stub, which the gate rejects until a human either
+        fixes the violation or writes down why it stays.
+        """
+        entries = []
+        for fingerprint in sorted({
+            f.fingerprint for f in findings if f.fingerprint
+        }):
+            entries.append({
+                "fingerprint": fingerprint,
+                "justification": self.entries.get(
+                    fingerprint, TODO_JUSTIFICATION
+                ),
+            })
+        payload = {"version": 1, "entries": entries}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        self.entries = {
+            row["fingerprint"]: row["justification"] for row in entries
+        }

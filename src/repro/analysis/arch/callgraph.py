@@ -1,0 +1,463 @@
+"""Cross-module call graph and the timing-critical mutation pass.
+
+replint's ``config-mutation`` rule sees one file: it flags
+``config.x = 1`` wherever it appears.  What it cannot see is a replay
+step calling a helper calling a helper that mutates module-level state
+or a shared config three modules away.  This pass closes that gap:
+
+1. index every function and method in the project;
+2. resolve intra-project calls (same-module names, imported names,
+   ``self.method``, ``self.attr.method`` through constructor- or
+   annotation-derived attribute types, and — as a fallback — method
+   names defined exactly once in the whole project);
+3. walk the graph from the contract's declared timing-critical entry
+   points (the replay step, cache access, scheduler tick) and report
+   every reachable *direct mutation site*: module-level state writes
+   (``global``, mutation of a module-level object) and shared-config
+   attribute writes.
+
+Resolution is deliberately conservative: a call it cannot resolve adds
+no edge, and ambiguous method names add no edge unless exact.  The
+pass therefore proves absence of *detectable* mutations over the
+resolved graph — an approximation, but one whose misses are silent
+non-edges rather than false alarms, and the per-file rule still
+patrols every mutation site replint can express.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.checks_common import Finding
+from repro.analysis.arch.modgraph import ModuleGraph, ModuleInfo
+from repro.analysis.lint.rules import build_import_aliases, dotted_name
+
+#: Names that conventionally bind a shared simulation configuration
+#: (mirrors replint's ``config-mutation`` heuristic).
+CONFIG_NAMES = frozenset({
+    "config", "gpu", "gpu_config", "dtexl_config", "design",
+    "base_config", "effective_config",
+})
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+    "__setitem__", "__delitem__",
+})
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One direct mutation site inside a function body."""
+
+    kind: str      #: ``module-state`` | ``shared-config``
+    target: str    #: what is written (dotted, best effort)
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionNode:
+    """One indexed function or method."""
+
+    qualname: str                 #: ``module.func`` or ``module.Cls.meth``
+    module: str
+    path: str
+    class_name: Optional[str]
+    node: ast.AST
+    calls: Set[str] = field(default_factory=set)
+    mutations: List[Mutation] = field(default_factory=list)
+
+
+class CallGraph:
+    """Function index + resolved call edges over a :class:`ModuleGraph`."""
+
+    def __init__(self, graph: ModuleGraph):
+        self.graph = graph
+        self.functions: Dict[str, FunctionNode] = {}
+        #: class qualname -> {method name -> function qualname}
+        self.class_methods: Dict[str, Dict[str, str]] = {}
+        #: class qualname -> base class qualnames (resolved best effort)
+        self.class_bases: Dict[str, List[str]] = {}
+        #: class qualname -> {instance attr -> class qualname of its value}
+        self.attr_types: Dict[str, Dict[str, str]] = {}
+        #: bare method name -> every qualname defining it
+        self._method_index: Dict[str, List[str]] = {}
+        #: module -> {local name -> qualname} for module-level defs/classes
+        self._module_defs: Dict[str, Dict[str, str]] = {}
+        #: module -> class local name -> class qualname
+        self._module_classes: Dict[str, Dict[str, str]] = {}
+        #: module -> module-level data bindings (mutation roots)
+        self._module_state: Dict[str, Set[str]] = {}
+        #: module -> import aliases
+        self._aliases: Dict[str, Dict[str, str]] = {}
+        self._index()
+        self._resolve()
+
+    # -- indexing -------------------------------------------------------------
+
+    def _index(self) -> None:
+        for info in self.graph.modules.values():
+            self._aliases[info.name] = build_import_aliases(info.tree)
+            defs: Dict[str, str] = {}
+            classes: Dict[str, str] = {}
+            state: Set[str] = set()
+            for node in info.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{info.name}.{node.name}"
+                    defs[node.name] = qual
+                    self._add_function(qual, info, None, node)
+                elif isinstance(node, ast.ClassDef):
+                    class_qual = f"{info.name}.{node.name}"
+                    defs[node.name] = class_qual
+                    classes[node.name] = class_qual
+                    methods: Dict[str, str] = {}
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            qual = f"{class_qual}.{item.name}"
+                            methods[item.name] = qual
+                            self._add_function(qual, info, node.name, item)
+                    self.class_methods[class_qual] = methods
+                    self.class_bases[class_qual] = [
+                        base for base in (
+                            dotted_name(b) for b in node.bases
+                        ) if base
+                    ]
+                elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            state.add(target.id)
+            self._module_defs[info.name] = defs
+            self._module_classes[info.name] = classes
+            self._module_state[info.name] = state
+        for qual, node in self.functions.items():
+            name = qual.rsplit(".", 1)[1]
+            self._method_index.setdefault(name, []).append(qual)
+        self._infer_attr_types()
+
+    def _add_function(self, qualname: str, info: ModuleInfo,
+                      class_name: Optional[str], node: ast.AST) -> None:
+        self.functions[qualname] = FunctionNode(
+            qualname=qualname, module=info.name, path=str(info.path),
+            class_name=class_name, node=node,
+        )
+
+    def _resolve_class_name(self, module: str, name: str) -> Optional[str]:
+        """Class qualname a (possibly dotted) local name refers to."""
+        if name in self._module_classes.get(module, {}):
+            return self._module_classes[module][name]
+        resolved = self._expand_alias(module, name)
+        if resolved in self.class_methods:
+            return resolved
+        return None
+
+    def _expand_alias(self, module: str, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        expanded = self._aliases.get(module, {}).get(head, head)
+        return f"{expanded}.{rest}" if rest else expanded
+
+    def _annotation_class(self, module: str,
+                          annotation: Optional[ast.AST]) -> Optional[str]:
+        """Class qualname named by an annotation (unwraps Optional[...])."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Subscript):
+            return self._annotation_class(module, annotation.slice)
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            return self._resolve_class_name(module, annotation.value)
+        name = dotted_name(annotation)
+        if name is None:
+            return None
+        return self._resolve_class_name(module, name)
+
+    def _infer_attr_types(self) -> None:
+        """``self.x = Cls(...)`` / annotated ``__init__`` params -> types."""
+        for class_qual, methods in self.class_methods.items():
+            module = class_qual.rsplit(".", 1)[0]
+            types: Dict[str, str] = {}
+            for method_qual in methods.values():
+                fn = self.functions[method_qual]
+                params: Dict[str, Optional[str]] = {}
+                args = getattr(fn.node, "args", None)
+                if args is not None:
+                    for arg in (args.posonlyargs + args.args
+                                + args.kwonlyargs):
+                        params[arg.arg] = self._annotation_class(
+                            module, arg.annotation
+                        )
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        value_cls: Optional[str] = None
+                        if isinstance(node.value, ast.Call):
+                            callee = dotted_name(node.value.func)
+                            if callee:
+                                value_cls = self._resolve_class_name(
+                                    module, callee
+                                )
+                        elif isinstance(node.value, ast.Name):
+                            value_cls = params.get(node.value.id)
+                        if value_cls:
+                            types[target.attr] = value_cls
+            self.attr_types[class_qual] = types
+
+    # -- call + mutation resolution -------------------------------------------
+
+    def _resolve(self) -> None:
+        for fn in self.functions.values():
+            self._scan_function(fn)
+
+    def _method_on_class(self, class_qual: str,
+                         method: str) -> Optional[str]:
+        """Look a method up on a class, walking declared bases."""
+        seen: Set[str] = set()
+        queue = [class_qual]
+        while queue:
+            cls = queue.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            found = self.class_methods.get(cls, {}).get(method)
+            if found:
+                return found
+            module = cls.rsplit(".", 1)[0]
+            for base in self.class_bases.get(cls, []):
+                resolved = self._resolve_class_name(module, base)
+                if resolved:
+                    queue.append(resolved)
+        return None
+
+    def _resolve_call(self, fn: FunctionNode,
+                      call: ast.Call) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        module = fn.module
+        class_qual = (
+            f"{module}.{fn.class_name}" if fn.class_name else None
+        )
+        # self.method() / self.attr.method()
+        if parts[0] == "self" and class_qual:
+            if len(parts) == 2:
+                return self._method_on_class(class_qual, parts[1])
+            if len(parts) == 3:
+                attr_cls = self.attr_types.get(class_qual, {}).get(parts[1])
+                if attr_cls:
+                    return self._method_on_class(attr_cls, parts[2])
+            return self._unique_method(parts[-1])
+        # bare name: same-module function or class constructor
+        if len(parts) == 1:
+            local = self._module_defs.get(module, {}).get(parts[0])
+            if local:
+                return self._constructor_or_function(local)
+            expanded = self._expand_alias(module, dotted)
+            return self._constructor_or_function(expanded)
+        # dotted name through import aliases
+        expanded = self._expand_alias(module, dotted)
+        resolved = self._constructor_or_function(expanded)
+        if resolved:
+            return resolved
+        # obj.method() on something we can't type: unique-name fallback
+        return self._unique_method(parts[-1])
+
+    def _constructor_or_function(self, qualname: str) -> Optional[str]:
+        if qualname in self.functions:
+            return qualname
+        if qualname in self.class_methods:
+            init = self.class_methods[qualname].get("__init__")
+            if init:
+                return init
+            return None
+        return None
+
+    def _unique_method(self, name: str) -> Optional[str]:
+        candidates = self._method_index.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    @staticmethod
+    def _is_config_like(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in CONFIG_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in CONFIG_NAMES
+        return False
+
+    @staticmethod
+    def _root_name(node: ast.AST) -> Optional[str]:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def _scan_function(self, fn: FunctionNode) -> None:
+        module_state = self._module_state.get(fn.module, set()) \
+            | set(self._module_classes.get(fn.module, {}))
+        globals_declared: Set[str] = set()
+        local_names: Set[str] = set()
+        args = getattr(fn.node, "args", None)
+        if args is not None:
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+                local_names.add(arg.arg)
+            if args.vararg:
+                local_names.add(args.vararg.arg)
+            if args.kwarg:
+                local_names.add(args.kwarg.arg)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                globals_declared.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id in globals_declared:
+                            fn.mutations.append(Mutation(
+                                kind="module-state", target=target.id,
+                                line=node.lineno, col=node.col_offset,
+                            ))
+                        else:
+                            local_names.add(target.id)
+            elif isinstance(node, ast.For) and isinstance(
+                node.target, ast.Name
+            ):
+                local_names.add(node.target.id)
+            elif isinstance(node, ast.withitem) and isinstance(
+                node.optional_vars, ast.Name
+            ):
+                local_names.add(node.optional_vars.id)
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue  # a bare annotation binds nothing
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    base = target.value
+                    if isinstance(target, ast.Attribute) \
+                            and self._is_config_like(base):
+                        fn.mutations.append(Mutation(
+                            kind="shared-config",
+                            target=dotted_name(target) or target.attr,
+                            line=node.lineno, col=node.col_offset,
+                        ))
+                        continue
+                    root = self._root_name(target)
+                    if (root and root in module_state
+                            and root not in local_names
+                            and root != "self"):
+                        fn.mutations.append(Mutation(
+                            kind="module-state",
+                            target=dotted_name(target) or root,
+                            line=node.lineno, col=node.col_offset,
+                        ))
+            elif isinstance(node, ast.Call):
+                callee = self._resolve_call(fn, node)
+                if callee:
+                    fn.calls.add(callee)
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "setattr" \
+                        and node.args and self._is_config_like(node.args[0]):
+                    fn.mutations.append(Mutation(
+                        kind="shared-config",
+                        target=dotted_name(node.args[0]) or "config",
+                        line=node.lineno, col=node.col_offset,
+                    ))
+                elif isinstance(func, ast.Attribute) \
+                        and func.attr in _MUTATING_METHODS:
+                    root = self._root_name(func.value)
+                    if (root and root != "self"
+                            and root in module_state
+                            and root not in local_names):
+                        fn.mutations.append(Mutation(
+                            kind="module-state",
+                            target=(dotted_name(func) or func.attr),
+                            line=node.lineno, col=node.col_offset,
+                        ))
+
+
+# -- the pass -----------------------------------------------------------------
+
+
+def check_timing_critical_mutations(
+    graph: ModuleGraph,
+    entrypoints: Sequence[str],
+    callgraph: Optional[CallGraph] = None,
+) -> List[Finding]:
+    """Prove declared entry points never reach a state mutation.
+
+    Walks the resolved call graph breadth-first from each entry point;
+    every reachable direct mutation site becomes a finding whose
+    message spells out one call chain from the entry point to the
+    mutation, so the report is actionable without re-deriving the path.
+    """
+    cg = callgraph if callgraph is not None else CallGraph(graph)
+    findings: List[Finding] = []
+    for entry in sorted(entrypoints):
+        if entry not in cg.functions:
+            findings.append(Finding(
+                path=str(graph.src_root), line=0, col=0,
+                rule="unknown-entrypoint",
+                message=(
+                    f"contract entry point {entry} does not exist; fix "
+                    "the [callgraph] entrypoints list in archcontract.toml"
+                ),
+                fingerprint=f"unknown-entrypoint:{entry}",
+            ))
+            continue
+        parent: Dict[str, Optional[str]] = {entry: None}
+        queue = [entry]
+        while queue:
+            current = queue.pop(0)
+            fn = cg.functions[current]
+            for mutation in fn.mutations:
+                chain: List[str] = []
+                walk: Optional[str] = current
+                while walk is not None:
+                    chain.append(walk)
+                    walk = parent[walk]
+                chain.reverse()
+                findings.append(Finding(
+                    path=fn.path, line=mutation.line, col=mutation.col,
+                    rule="timing-critical-mutation",
+                    message=(
+                        f"{' -> '.join(chain)} mutates "
+                        f"{mutation.kind.replace('-', ' ')} "
+                        f"({mutation.target}); timing-critical entry "
+                        "points must be pure over shared state so "
+                        "replays stay deterministic"
+                    ),
+                    fingerprint=(
+                        "timing-critical-mutation:"
+                        f"{entry}:{current}:{mutation.target}"
+                    ),
+                ))
+            for callee in sorted(fn.calls):
+                if callee not in parent:
+                    parent[callee] = current
+                    queue.append(callee)
+    return findings

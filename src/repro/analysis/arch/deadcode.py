@@ -1,0 +1,242 @@
+"""Dead exports and undeclared API.
+
+Two symmetric failure modes of a public surface:
+
+* **dead-export** — a public module-level function or class whose name
+  is referenced nowhere: not in any project module, not in tests,
+  examples or benchmarks (the contract's ``reference_roots``), not in
+  an ``__all__``.  Dead API misleads readers about what the simulator
+  actually exercises, and it silently rots.
+* **undeclared-export** — the mirror image: a ``from module import
+  name`` (typically a package ``__init__`` re-export) or an
+  ``__all__`` entry naming something the target module never binds.
+  These imports only explode at import time of that specific module,
+  which CI may never reach.
+
+Liveness is name-based and deliberately over-approximate: any
+occurrence of the name — as an identifier, an attribute, an import, or
+an ``__all__`` string — anywhere in the analyzed or reference trees
+keeps a definition alive.  What the pass flags is therefore genuinely
+unreferenced.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.checks_common import Finding
+from repro.analysis.arch.modgraph import ModuleGraph, _SKIP_DIRS
+
+
+def _names_used(tree: ast.Module) -> Set[str]:
+    """Every identifier a module mentions, by any syntactic route."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            used.add(node.attr)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                used.update(alias.name.split("."))
+                if alias.asname:
+                    used.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                used.add(alias.name)
+                if alias.asname:
+                    used.add(alias.asname)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ entries and getattr(...) strings: a plain string
+            # that happens to be an identifier keeps that name alive.
+            if node.value.isidentifier():
+                used.add(node.value)
+    return used
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    """Names a module binds at top level (defs, classes, assigns, imports)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            bound.add(element.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # conditional bindings (TYPE_CHECKING blocks, import
+            # fallbacks) still bind the name on some path
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            bound.add(target.id)
+    return bound
+
+
+def _dunder_all(tree: ast.Module) -> List[ast.Constant]:
+    """The string constants of a module-level ``__all__`` list, if any."""
+    out: List[ast.Constant] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    out.append(element)
+    return out
+
+
+def _reference_trees(roots: Iterable[Path]) -> List[ast.Module]:
+    trees: List[ast.Module] = []
+    for root in roots:
+        root = Path(root)
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if set(path.parts) & _SKIP_DIRS:
+                continue
+            try:
+                trees.append(ast.parse(path.read_text(encoding="utf-8")))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue  # reference trees only widen liveness
+    return trees
+
+
+def check_dead_exports(graph: ModuleGraph,
+                       reference_roots: Iterable[Path] = (),
+                       ignore: Iterable[str] = ()) -> List[Finding]:
+    """Public top-level defs referenced nowhere in any tree."""
+    used: Set[str] = set()
+    for info in graph.modules.values():
+        used |= _names_used(info.tree)
+    for tree in _reference_trees(reference_roots):
+        used |= _names_used(tree)
+    ignore = list(ignore)
+    findings: List[Finding] = []
+    for name in sorted(graph.modules):
+        info = graph.modules[name]
+        if info.is_package:
+            continue  # __init__ re-exports are covered by liveness of
+            # the names themselves
+        for node in info.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            qualname = f"{info.name}.{node.name}"
+            if any(fnmatch(qualname, pattern) for pattern in ignore):
+                continue
+            if node.name in used:
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            findings.append(Finding(
+                path=str(info.path), line=node.lineno, col=node.col_offset,
+                rule="dead-export",
+                message=(
+                    f"public {kind} {qualname} is referenced nowhere "
+                    "(project, tests, examples or benchmarks); delete it "
+                    "or wire it into the API it was written for"
+                ),
+                fingerprint=f"dead-export:{qualname}",
+            ))
+    return findings
+
+
+def check_undeclared_exports(graph: ModuleGraph) -> List[Finding]:
+    """Imports and ``__all__`` entries naming things that don't exist."""
+    bindings: Dict[str, Set[str]] = {
+        name: _module_bindings(info.tree)
+        for name, info in graph.modules.items()
+    }
+    # a package also "binds" its direct submodules
+    for name in graph.modules:
+        parent, _, leaf = name.rpartition(".")
+        if parent in bindings:
+            bindings[parent].add(leaf)
+    findings: List[Finding] = []
+    for name in sorted(graph.modules):
+        info = graph.modules[name]
+        package = name if info.is_package else name.rpartition(".")[0]
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.level:
+                base = package.split(".") if package else []
+                if node.level - 1 > len(base):
+                    continue
+                if node.level > 1:
+                    base = base[:len(base) - (node.level - 1)]
+                target = ".".join(base + (
+                    [node.module] if node.module else []
+                ))
+            else:
+                target = node.module or ""
+            if target not in graph.modules:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.name in bindings[target]:
+                    continue
+                findings.append(Finding(
+                    path=str(info.path), line=node.lineno,
+                    col=node.col_offset, rule="undeclared-export",
+                    message=(
+                        f"import of {target}.{alias.name}, but {target} "
+                        "never binds that name; this only explodes when "
+                        f"{name} is first imported"
+                    ),
+                    fingerprint=f"undeclared-export:{name}:"
+                                f"{target}.{alias.name}",
+                ))
+        own = bindings[name]
+        for entry in _dunder_all(info.tree):
+            if entry.value in own:
+                continue
+            findings.append(Finding(
+                path=str(info.path), line=entry.lineno,
+                col=entry.col_offset, rule="undeclared-export",
+                message=(
+                    f"__all__ declares {entry.value!r} but {name} never "
+                    "binds that name; `from ... import *` would raise"
+                ),
+                fingerprint=f"undeclared-export:{name}:__all__."
+                            f"{entry.value}",
+            ))
+    return findings

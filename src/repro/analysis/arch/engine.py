@@ -1,0 +1,100 @@
+"""The archcheck engine: run every pass, apply the baseline ratchet.
+
+One call — :meth:`ArchCheck.run` — builds the module graph, checks the
+layer contract, the import cycles, the timing-critical call graph and
+the export surface, then splits the findings against the baseline:
+*new* findings gate (exit 1 in the CLI), *baselined* findings are
+reported but tolerated, *stale* baseline entries are surfaced so the
+ratchet only ever tightens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.checks_common import Finding, sort_findings
+from repro.analysis.arch.baseline import Baseline
+from repro.analysis.arch.callgraph import (
+    CallGraph,
+    check_timing_critical_mutations,
+)
+from repro.analysis.arch.contract import (
+    LayerContract,
+    check_cycles,
+    check_layers,
+)
+from repro.analysis.arch.deadcode import (
+    check_dead_exports,
+    check_undeclared_exports,
+)
+from repro.analysis.arch.modgraph import ModuleGraph
+
+
+@dataclass
+class ArchReport:
+    """Everything one archcheck run produced."""
+
+    graph: ModuleGraph
+    contract: LayerContract
+    #: findings NOT covered by the baseline — these gate.
+    findings: List[Finding] = field(default_factory=list)
+    #: findings covered by a justified baseline entry.
+    baselined: List[Finding] = field(default_factory=list)
+    #: baseline fingerprints that no longer match anything.
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class ArchCheck:
+    """Whole-program architecture checks over one source root."""
+
+    def __init__(self, contract: LayerContract, src_root: Path,
+                 baseline: Optional[Baseline] = None):
+        self.contract = contract
+        self.src_root = Path(src_root)
+        self.baseline = baseline if baseline is not None else Baseline(
+            path=self.src_root / "archcheck-baseline.json"
+        )
+
+    def _reference_roots(self) -> List[Path]:
+        base = (
+            self.contract.path.parent if self.contract.path is not None
+            else Path(".")
+        )
+        return [base / root for root in self.contract.reference_roots]
+
+    def run(self, update_baseline: bool = False) -> ArchReport:
+        graph = ModuleGraph.build(
+            self.src_root, packages=[self.contract.package]
+        )
+        raw: List[Finding] = list(graph.errors)
+        raw.extend(check_layers(graph, self.contract))
+        raw.extend(check_cycles(graph))
+        if self.contract.entrypoints:
+            callgraph = CallGraph(graph)
+            raw.extend(check_timing_critical_mutations(
+                graph, self.contract.entrypoints, callgraph
+            ))
+        raw.extend(check_dead_exports(
+            graph,
+            reference_roots=self._reference_roots(),
+            ignore=self.contract.deadcode_ignore,
+        ))
+        raw.extend(check_undeclared_exports(graph))
+        raw = sort_findings(raw)
+        if update_baseline:
+            self.baseline.write_updated(raw)
+        new, baselined, stale = self.baseline.partition(raw)
+        new.extend(self.baseline.unjustified())
+        return ArchReport(
+            graph=graph,
+            contract=self.contract,
+            findings=sort_findings(new),
+            baselined=baselined,
+            stale=stale,
+        )

@@ -1,0 +1,93 @@
+"""Graph export: DOT for humans, JSON for tools.
+
+The DOT output aggregates the module graph to one node per layer so
+the diagram stays readable at any repository size; forbidden edges are
+drawn red and bold so a violation is visible from across the room.
+The JSON output keeps the full module-level graph for scripted
+consumers (diffing two revisions, feeding a visualizer).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.arch.contract import LayerContract
+from repro.analysis.arch.modgraph import ModuleGraph
+
+
+def _layer_edges(
+    graph: ModuleGraph, contract: LayerContract
+) -> Dict[Tuple[str, str], int]:
+    """Aggregate module edges to (src_layer, dst_layer) -> edge count."""
+    out: Dict[Tuple[str, str], int] = {}
+    for edge in graph.edges:
+        src = contract.layer_of(edge.src)
+        dst = contract.layer_of(edge.dst)
+        if src is None or dst is None or src == dst:
+            continue
+        out[(src, dst)] = out.get((src, dst), 0) + 1
+    return out
+
+
+def to_dot(graph: ModuleGraph, contract: LayerContract) -> str:
+    """A layer-level digraph in Graphviz DOT syntax."""
+    edges = _layer_edges(graph, contract)
+    layers_present: Set[str] = set()
+    for src, dst in edges:
+        layers_present.update((src, dst))
+    for name in graph.modules:
+        layer = contract.layer_of(name)
+        if layer is not None:
+            layers_present.add(layer)
+    lines: List[str] = [
+        "digraph layers {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for layer in sorted(layers_present):
+        members = sum(
+            1 for name in graph.modules if contract.layer_of(name) == layer
+        )
+        lines.append(
+            f'  "{layer}" [label="{layer}\\n{members} module'
+            f'{"s" if members != 1 else ""}"];'
+        )
+    for (src, dst) in sorted(edges):
+        count = edges[(src, dst)]
+        attrs = [f'label="{count}"']
+        if not contract.allows(src, dst):
+            attrs.append('color="red"')
+            attrs.append("penwidth=2.0")
+        lines.append(f'  "{src}" -> "{dst}" [{", ".join(attrs)}];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_to_dict(graph: ModuleGraph, contract: LayerContract) -> dict:
+    """The full module graph plus the layer mapping, as plain data."""
+    return {
+        "package": contract.package,
+        "modules": {
+            name: {
+                "path": str(info.path),
+                "layer": contract.layer_of(name),
+                "is_package": info.is_package,
+                "imports": sorted({
+                    edge.dst for edge in graph.edges if edge.src == name
+                }),
+            }
+            for name, info in sorted(graph.modules.items())
+        },
+        "layers": {
+            name: sorted(allowed)
+            for name, allowed in contract.layers.items()
+        },
+        "edge_count": len(graph.edges),
+    }
+
+
+def graph_to_json(graph: ModuleGraph, contract: LayerContract) -> str:
+    return json.dumps(
+        graph_to_dict(graph, contract), indent=2, sort_keys=True
+    )

@@ -12,6 +12,12 @@ justification after ``--``; a disable comment with no justification is
 itself reported (rule ``unjustified-suppression``), so waivers stay
 auditable.  ``disable=all`` silences every rule on the line.
 
+Suppressions are also checked in the other direction: a justified
+disable comment whose rule never actually fires on that line (because
+the code was fixed, or the rule name is a typo) is reported as
+``unused-suppression``.  Stale waivers otherwise accumulate and hide
+the day the hazard comes back.
+
 Unparseable files are reported as ``parse-error`` findings rather than
 crashing the run: a lint gate that dies on the file it should be
 flagging protects nothing.
@@ -22,18 +28,19 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.lint.report import Finding, sort_findings
+from repro.analysis.checks_common import Finding, is_timing_critical, \
+    sort_findings
 from repro.analysis.lint.rules import (
     ALL_RULES,
-    TIMING_CRITICAL_PACKAGES,
     ModuleContext,
     Rule,
     build_import_aliases,
+    rule_ids,
 )
 
-#: ``# replint: disable=rule-a,rule-b -- why this is safe``
+#: ``# replint: disable=<rules> -- why this is safe``
 _DISABLE_RE = re.compile(
     r"#\s*replint:\s*disable=([A-Za-z0-9_,\s\-]+?)"
     r"(?:\s+--\s*(?P<why>\S.*))?\s*$"
@@ -47,7 +54,11 @@ class _Suppressions:
     """Per-file map of line -> rule ids disabled on that line."""
 
     def __init__(self, source: str, path: str):
+        self.path = path
         self.by_line: Dict[int, Set[str]] = {}
+        #: ``(line, col)`` of each justified disable comment, for the
+        #: unused-suppression check.
+        self.comment_pos: Dict[int, int] = {}
         self.unjustified: List[Finding] = []
         for lineno, text in enumerate(source.splitlines(), start=1):
             match = _DISABLE_RE.search(text)
@@ -68,15 +79,55 @@ class _Suppressions:
                 ))
                 continue
             self.by_line.setdefault(lineno, set()).update(rules)
+            self.comment_pos[lineno] = text.index("#")
 
     def allows(self, finding: Finding) -> bool:
         disabled = self.by_line.get(finding.line, set())
         return not (finding.rule in disabled or "all" in disabled)
 
+    def unused(self, raw: Sequence[Finding],
+               active_ids: Set[str]) -> List[Finding]:
+        """Justified suppressions that silenced nothing.
 
-def is_timing_critical(path: Path) -> bool:
-    """Whether ``path`` lives in a timing-critical simulator package."""
-    return bool(set(path.parts) & TIMING_CRITICAL_PACKAGES)
+        A suppression is unused when the rule it names never produced a
+        raw finding on its line.  Rules that were not active for this
+        file (deselected, or timing-only outside a timing-critical
+        package) are skipped — the comment may well be load-bearing
+        under the full rule set.  Unknown rule names are always
+        reported: they can never fire, so the waiver is dead on
+        arrival (usually a typo).
+        """
+        fired: Set[Tuple[int, str]] = {(f.line, f.rule) for f in raw}
+        fired_lines: Set[int] = {f.line for f in raw}
+        known = rule_ids()
+        out: List[Finding] = []
+
+        def flag(lineno: int, message: str) -> None:
+            out.append(Finding(
+                path=self.path, line=lineno,
+                col=self.comment_pos.get(lineno, 0),
+                rule="unused-suppression", message=message,
+            ))
+
+        for lineno in sorted(self.by_line):
+            for rule_name in sorted(self.by_line[lineno]):
+                if rule_name == "all":
+                    if lineno not in fired_lines:
+                        flag(lineno,
+                             "suppression of all rules silences nothing "
+                             "on this line; remove the stale "
+                             "`# replint: disable` comment")
+                elif rule_name not in known:
+                    flag(lineno,
+                         f"suppression names unknown rule {rule_name!r}; "
+                         "it can never fire (typo?)")
+                elif (rule_name in active_ids
+                        and (lineno, rule_name) not in fired):
+                    flag(lineno,
+                         f"suppression of {rule_name!r} silences nothing "
+                         "on this line; remove the stale "
+                         "`# replint: disable` comment")
+        return out
 
 
 class LintEngine:
@@ -128,13 +179,16 @@ class LintEngine:
             import_aliases=build_import_aliases(tree),
         )
         raw: List[Finding] = []
+        active_ids: Set[str] = set()
         for rule in self.rules:
             if rule.timing_only and not timing_critical:
                 continue
+            active_ids.add(rule.rule_id)
             raw.extend(rule.check(ctx))
         suppressions = _Suppressions(source, path)
         kept = [f for f in raw if suppressions.allows(f)]
         kept.extend(suppressions.unjustified)
+        kept.extend(suppressions.unused(raw, active_ids))
         return sort_findings(kept)
 
     def lint_file(self, path: Path) -> List[Finding]:

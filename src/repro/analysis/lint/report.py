@@ -1,68 +1,18 @@
 """Findings and report formatting for the ``replint`` static checker.
 
-A :class:`Finding` is one rule violation at one source location.  The
-formatters turn a list of findings into either a human ``file:line:col``
-listing (grep/editor friendly) or machine-readable JSON so CI can gate
-on ``len(findings) == 0`` without parsing prose.
+The actual implementation lives in
+:mod:`repro.analysis.checks_common`, shared with archcheck so both
+checkers emit identical ``path:line:col`` text and JSON report shapes;
+this module re-exports it under the historical names.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from repro.analysis.checks_common import (
+    Finding,
+    format_json,
+    format_text,
+    sort_findings,
+)
 
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at one source location."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def as_dict(self) -> Dict[str, Any]:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "rule": self.rule,
-            "message": self.message,
-        }
-
-    def location(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}"
-
-
-def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
-    """Deterministic presentation order: path, then line, col, rule."""
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
-
-
-def format_text(findings: Sequence[Finding]) -> str:
-    """grep-style ``path:line:col: rule: message`` lines plus a summary."""
-    ordered = sort_findings(findings)
-    lines = [
-        f"{f.location()}: {f.rule}: {f.message}" for f in ordered
-    ]
-    n = len(ordered)
-    lines.append(
-        "replint: no findings" if n == 0
-        else f"replint: {n} finding{'s' if n != 1 else ''}"
-    )
-    return "\n".join(lines)
-
-
-def format_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable report: ``{"findings": [...], "count": N}``."""
-    ordered = sort_findings(findings)
-    return json.dumps(
-        {
-            "findings": [f.as_dict() for f in ordered],
-            "count": len(ordered),
-        },
-        indent=2,
-        sort_keys=True,
-    )
+__all__ = ["Finding", "format_json", "format_text", "sort_findings"]

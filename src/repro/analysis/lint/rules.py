@@ -34,14 +34,16 @@ import ast
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
-from repro.analysis.lint.report import Finding
-
-#: Packages whose code feeds simulated time / the replayed access stream.
-#: A wall-clock read or an unordered iteration here corrupts results;
-#: the same constructs in, say, ``analysis.tables`` merely format them.
-TIMING_CRITICAL_PACKAGES = frozenset(
-    {"sim", "raster", "memory", "shader", "core"}
+from repro.analysis.checks_common import (
+    TIMING_CRITICAL_PACKAGES,
+    Finding,
 )
+
+__all__ = [
+    "ALL_RULES", "RULES_BY_ID", "TIMING_CRITICAL_PACKAGES",
+    "ModuleContext", "Rule", "build_import_aliases", "dotted_name",
+    "rule_ids",
+]
 
 #: Wall-clock entry points (resolved through import aliases).
 _WALL_CLOCK_CALLS = frozenset({

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro animate GAME [--frames N] # multi-frame warm-cache run
     python -m repro schedule [--grouping ...] # visualize a schedule as ASCII
     python -m repro lint [PATHS ...]          # replint static checks
+    python -m repro archcheck [--dot out.dot] # whole-program arch checks
     python -m repro sanitize GAME [-d NAME]   # runtime invariant sanitizer
 
 Common options: ``--screen WxH`` picks the simulated resolution
@@ -28,7 +29,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.export import run_result_to_dict, suite_result_to_dict
 from repro.analysis.tables import format_table
 from repro.config import GPUConfig
 from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS, DTexLConfig
@@ -37,6 +37,7 @@ from repro.core.subtile_assignment import ASSIGNMENTS
 from repro.core.tile_order import TILE_ORDERS
 from repro.errors import ConfigError, ReproError, UnknownWorkloadError
 from repro.sim import ExperimentRunner, FrameRenderer, TraceReplayer
+from repro.sim.export import run_result_to_dict, suite_result_to_dict
 from repro.workloads import GAMES, build_game
 
 #: Distinct exit codes for unattended campaign drivers.
@@ -320,6 +321,57 @@ def cmd_lint(args) -> int:
     return EXIT_FINDINGS if findings else EXIT_OK
 
 
+def cmd_archcheck(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.arch import (
+        ArchCheck,
+        Baseline,
+        LayerContract,
+        graph_to_json,
+        to_dot,
+    )
+    from repro.analysis.checks_common import format_json, format_text
+
+    contract = LayerContract.load(Path(args.contract))
+    baseline = Baseline.load(Path(args.baseline))
+    check = ArchCheck(contract, Path(args.src), baseline=baseline)
+    report = check.run(update_baseline=args.update_baseline)
+    if args.dot:
+        dot = to_dot(report.graph, contract)
+        if args.dot == "-":
+            print(dot, end="")
+        else:
+            Path(args.dot).write_text(dot, encoding="utf-8")
+    if args.graph_json:
+        graph = graph_to_json(report.graph, contract)
+        if args.graph_json == "-":
+            print(graph)
+        else:
+            Path(args.graph_json).write_text(graph + "\n", encoding="utf-8")
+    summary = {
+        "modules": len(report.graph.modules),
+        "edges": len(report.graph.edges),
+        "baselined": [f.as_dict() for f in report.baselined],
+        "stale_baseline": report.stale,
+    }
+    if args.format == "json":
+        print(format_json(report.findings, tool="archcheck", **summary))
+    else:
+        print(format_text(report.findings, tool="archcheck"))
+        print(f"graph: {summary['modules']} modules, "
+              f"{summary['edges']} internal edges")
+        if report.baselined:
+            print(f"baselined: {len(report.baselined)} pre-existing "
+                  f"finding(s) waived by {args.baseline}")
+        for fingerprint in report.stale:
+            print(f"stale baseline entry (violation fixed? delete it): "
+                  f"{fingerprint}")
+        if args.update_baseline:
+            print(f"baseline rewritten: {args.baseline}")
+    return EXIT_FINDINGS if report.findings else EXIT_OK
+
+
 def cmd_sanitize(args) -> int:
     from repro.analysis.lint import TraceSanitizer, trace_digest
 
@@ -475,6 +527,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the named rules (default: all)",
     )
 
+    p_arch = sub.add_parser(
+        "archcheck",
+        help="whole-program layer-contract / call-graph / API checks",
+    )
+    p_arch.add_argument(
+        "--src", default="src", metavar="DIR",
+        help="source root to analyze (default: src)",
+    )
+    p_arch.add_argument(
+        "--contract", default="archcontract.toml", metavar="FILE",
+        help="layer contract file (default: archcontract.toml)",
+    )
+    p_arch.add_argument(
+        "--baseline", default="archcheck-baseline.json", metavar="FILE",
+        help="justified-waiver baseline (default: archcheck-baseline.json)",
+    )
+    p_arch.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is what CI gates on)",
+    )
+    p_arch.add_argument(
+        "--dot", metavar="FILE",
+        help="write the layer graph as Graphviz DOT ('-' for stdout)",
+    )
+    p_arch.add_argument(
+        "--graph-json", metavar="FILE",
+        help="write the full module graph as JSON ('-' for stdout)",
+    )
+    p_arch.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to current findings (new entries get "
+             "a TODO justification that still fails the gate)",
+    )
+
     p_sanitize = sub.add_parser(
         "sanitize", help="replay a game and check pipeline invariants"
     )
@@ -510,6 +596,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "animate": cmd_animate,
         "schedule": cmd_schedule,
         "lint": cmd_lint,
+        "archcheck": cmd_archcheck,
         "sanitize": cmd_sanitize,
     }
     try:

@@ -1,0 +1,96 @@
+"""Structured export of simulation results (dicts / JSON).
+
+Turns :class:`~repro.sim.replay.RunResult` and
+:class:`~repro.sim.experiment.SuiteResult` into plain dictionaries so
+results can be archived, diffed between runs, or consumed by plotting
+tools, without those classes having to know about serialization.
+
+This lives in ``sim`` — not ``analysis`` — because the sweep writes
+run manifests as part of campaign execution, and ``sim`` importing the
+analysis layer is a forbidden edge under ``archcontract.toml``.
+:mod:`repro.analysis.export` re-exports everything for callers above.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.sim.experiment import SuiteResult
+from repro.sim.replay import RunResult
+from repro.sim.resilience import RunManifest
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten one replay's results (omitting bulky per-tile arrays)."""
+    return {
+        "design_point": result.design_point,
+        "l2_accesses": result.l2_accesses,
+        "l2_misses": result.l2_misses,
+        "dram_accesses": result.dram_accesses,
+        "l1_accesses": result.l1_accesses,
+        "l1_misses": result.l1_misses,
+        "l1_miss_rate": result.l1_miss_rate,
+        "l1_replication_factor": result.l1_replication_factor,
+        "vertex_accesses": result.vertex_accesses,
+        "tile_accesses": result.tile_accesses,
+        "total_quads": result.total_quads,
+        "framebuffer_write_lines": result.framebuffer_write_lines,
+        "frame_cycles": result.frame_cycles,
+        "sc_busy_cycles": list(result.timing.sc_busy_cycles),
+        "sc_issue_cycles": list(result.timing.sc_issue_cycles),
+        "fetch_cycles_total": result.timing.fetch_cycles_total,
+        "energy_mj": {
+            name: value
+            for name, value in result.energy.components_mj.items()
+        },
+        "energy_total_mj": result.energy.total_mj,
+    }
+
+
+def suite_result_to_dict(suite: SuiteResult) -> Dict[str, Any]:
+    """Flatten a whole suite run, keyed by game alias."""
+    return {
+        "design_point": suite.design_point,
+        "total_l2_accesses": suite.total_l2_accesses,
+        "games": {
+            game: run_result_to_dict(result)
+            for game, result in suite.per_game.items()
+        },
+    }
+
+
+def manifest_to_dict(manifest: RunManifest) -> Dict[str, Any]:
+    """Flatten a campaign manifest (config hash, outcomes, failures)."""
+    return manifest.as_dict()
+
+
+def write_run_manifest(path: os.PathLike, manifest: RunManifest) -> Path:
+    """Archive a campaign manifest as JSON; returns the written path.
+
+    The write is atomic (temp file + rename) so a crash while archiving
+    never leaves a truncated manifest for the next resume to read.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(manifest_to_dict(manifest), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+    return path
+
+
+def to_json(result, indent: int = 2) -> str:
+    """JSON for either result type."""
+    if isinstance(result, SuiteResult):
+        payload = suite_result_to_dict(result)
+    elif isinstance(result, RunResult):
+        payload = run_result_to_dict(result)
+    else:
+        raise TypeError(f"cannot export {type(result).__name__}")
+    return json.dumps(payload, indent=indent, sort_keys=True)

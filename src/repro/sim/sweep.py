@@ -26,8 +26,8 @@ from itertools import product
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.analysis.metrics import per_tile_imbalance
 from repro.core.dtexl import DTexLConfig
+from repro.sim.export import write_run_manifest
 from repro.sim.checkpoint import (
     SweepProgress,
     TraceCheckpointStore,
@@ -44,6 +44,7 @@ from repro.sim.resilience import (
     RunManifest,
     run_guarded,
 )
+from repro.stats import per_tile_imbalance
 
 #: Column order of sweep rows.
 ROW_FIELDS = [
@@ -205,8 +206,6 @@ class DesignSweep:
         report.wall_time_s = manifest.wall_time_s
         report.manifest = manifest
         if checkpoint_dir is not None:
-            from repro.analysis.export import write_run_manifest
-
             write_run_manifest(
                 Path(checkpoint_dir) / MANIFEST_FILENAME, manifest
             )

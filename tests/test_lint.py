@@ -188,6 +188,58 @@ class TestSuppressions:
         assert [f.rule for f in findings] == ["bare-assert"]
         assert findings[0].line == 2
 
+    def test_unused_suppression_is_a_finding(self):
+        src = (
+            "cycles = busy + stall  "
+            "# replint: disable=wall-clock -- no longer needed\n"
+        )
+        findings = LintEngine().lint_source(src, SIM_PATH)
+        assert [(f.rule, f.line) for f in findings] == [
+            ("unused-suppression", 1)
+        ]
+
+    def test_unused_disable_all_is_a_finding(self):
+        src = "x = 1  # replint: disable=all -- scaffolding\n"
+        assert rules_in(src) == ["unused-suppression"]
+
+    def test_unknown_rule_in_suppression_is_a_finding(self):
+        src = (
+            "import time\n"
+            "t = time.monotonic()  "
+            "# replint: disable=wallclock -- typo'd rule id\n"
+        )
+        assert sorted(rules_in(src)) == [
+            "unused-suppression", "wall-clock",
+        ]
+
+    def test_inactive_rule_suppression_not_reported_unused(self):
+        # wall-clock is timing-only; outside timing-critical packages the
+        # rule never runs, so the waiver may be load-bearing elsewhere
+        # (e.g. a docstring example) and must not be flagged.
+        src = (
+            "import time\n"
+            "t = time.monotonic()  "
+            "# replint: disable=wall-clock -- doc example\n"
+        )
+        assert rules_in(src, TABLE_PATH) == []
+
+    def test_deselected_rule_suppression_not_reported_unused(self):
+        src = (
+            "import time\n"
+            "t = time.monotonic()  "
+            "# replint: disable=wall-clock -- manifest wall time\n"
+        )
+        engine = LintEngine(select=["bare-assert"])
+        assert engine.lint_source(src, SIM_PATH) == []
+
+    def test_used_suppression_not_reported_unused(self):
+        src = (
+            "import time\n"
+            "t = time.monotonic()  "
+            "# replint: disable=wall-clock -- manifest wall time\n"
+        )
+        assert rules_in(src) == []
+
     def test_suppression_only_covers_its_own_line(self):
         src = (
             "import time\n"

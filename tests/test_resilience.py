@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.dtexl import BASELINE, DTexLConfig
+from repro.sim.checkpoint import read_manifest
 from repro.errors import BudgetExceededError, ReplayError, ReproError
 from repro.sim.experiment import ExperimentRunner, SuiteResult
 from repro.sim.replay import TraceReplayer
@@ -281,7 +282,7 @@ class TestManifest:
         report = make_sweep(["FG-xshift2", BAD_GROUPING]).run(
             runner, checkpoint_dir=ckpt
         )
-        payload = json.loads((ckpt / "manifest.json").read_text())
+        payload = read_manifest(ckpt / "manifest.json")
         assert payload["outcome"] == "partial"
         assert payload["games"] == ["SWa"]
         assert payload["design_points_attempted"] == [
@@ -297,6 +298,7 @@ class TestManifest:
         assert payload["failures"][0]["error_type"]
         assert payload["wall_time_s"] >= 0.0
         assert report.manifest.as_dict() == payload
+        assert read_manifest(ckpt / "absent.json") is None
 
     def test_manifest_outcomes(self, tiny_config):
         runner = ExperimentRunner(tiny_config, games=["SWa"])

@@ -1,0 +1,222 @@
+"""Replay-engine performance harness.
+
+Measures the throughput of the pass-2 replay engine (fast vs reference)
+over the game suite, plus serial-vs-parallel sweep wall time, and writes
+the results as ``BENCH_replay.json`` at the repository root.  This is
+the evidence for the fast-engine speedup target and the CI perf-smoke
+regression gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_replay.py
+    PYTHONPATH=src python benchmarks/perf/bench_replay.py \
+        --check benchmarks/perf/baseline_small.json
+
+Environment knobs (matching the figure benches):
+
+* ``REPRO_BENCH_SCALE``   — ``small`` (default, 512x256), ``paper``, or
+  ``WIDTHxHEIGHT``.
+* ``REPRO_BENCH_GAMES``   — comma-separated aliases (default: all ten).
+* ``REPRO_BENCH_REPEATS`` — timing repeats, best-of (default 3).
+* ``REPRO_BENCH_JOBS``    — worker count for the parallel sweep leg
+  (default 2).
+
+``--check BASELINE.json`` compares the measured fast-engine throughput
+against a committed baseline and exits non-zero on a more-than-2x
+regression (generous on purpose: CI machines vary, order-of-magnitude
+slowdowns don't).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_NAME = "BENCH_replay.json"
+
+#: A measured throughput below baseline * (1 / REGRESSION_FACTOR) fails.
+REGRESSION_FACTOR = 2.0
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import GPUConfig  # noqa: E402
+from repro.core.dtexl import BASELINE, DTEXL_BEST  # noqa: E402
+from repro.sim.checkpoint import TraceCheckpointStore, trace_key  # noqa: E402
+from repro.sim.driver import FrameRenderer  # noqa: E402
+from repro.sim.experiment import ExperimentRunner  # noqa: E402
+from repro.sim.replay import ENGINES, TraceReplayer  # noqa: E402
+from repro.sim.sweep import DesignSweep  # noqa: E402
+from repro.workloads.games import GAMES, build_game, game_aliases  # noqa: E402
+
+DESIGNS = (BASELINE, DTEXL_BEST)
+
+
+def bench_config() -> GPUConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale == "paper":
+        return GPUConfig()
+    if scale == "small":
+        return GPUConfig(screen_width=512, screen_height=256)
+    width, height = scale.lower().split("x")
+    return GPUConfig(screen_width=int(width), screen_height=int(height))
+
+
+def bench_games():
+    games = os.environ.get("REPRO_BENCH_GAMES")
+    if games:
+        return [g.strip() for g in games.split(",")]
+    return game_aliases()
+
+
+def render_traces(config, games):
+    renderer = FrameRenderer(config)
+    t0 = time.perf_counter()
+    traces = {g: renderer.render(build_game(g, config))[0] for g in games}
+    return traces, time.perf_counter() - t0
+
+
+def time_engines(config, traces, repeats: int) -> dict:
+    """Best-of-``repeats`` seconds per engine to replay every pair.
+
+    Repeats are interleaved across engines (fast, reference, fast, ...)
+    so slow drift of the host — frequency scaling, noisy neighbours —
+    hits both engines alike instead of biasing whichever ran last.
+    """
+    replayers = {e: TraceReplayer(config, engine=e) for e in ENGINES}
+    best = {e: float("inf") for e in ENGINES}
+    for _ in range(repeats):
+        for engine in ENGINES:
+            replayer = replayers[engine]
+            t0 = time.perf_counter()
+            for trace in traces.values():
+                for design in DESIGNS:
+                    replayer.run(trace, design)
+            best[engine] = min(best[engine], time.perf_counter() - t0)
+    return best
+
+
+def time_sweep(config, games, jobs: int, store) -> float:
+    """Seconds for one small sweep grid over pre-rendered traces.
+
+    Both the serial and the parallel leg load pass-1 from the same
+    checkpoint store, so the comparison isolates the replay fan-out.
+    """
+    sweep = DesignSweep(
+        groupings=("FG-xshift2", "CG-square"),
+        assignments=("const",),
+        orders=("zorder",),
+        decoupled=(True,),
+    )
+    runner = ExperimentRunner(
+        config, games=list(games), checkpoint_store=store
+    )
+    t0 = time.perf_counter()
+    sweep.run(runner, jobs=jobs)
+    return time.perf_counter() - t0
+
+
+def run_bench() -> dict:
+    config = bench_config()
+    games = bench_games()
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+
+    print(f"rendering {len(games)} traces at "
+          f"{config.screen_width}x{config.screen_height} ...")
+    traces, render_s = render_traces(config, games)
+    replays = len(traces) * len(DESIGNS)
+    total_quads = sum(t.total_quads for t in traces.values()) * len(DESIGNS)
+    total_lines = (
+        sum(t.total_texture_lines for t in traces.values()) * len(DESIGNS)
+    )
+
+    engines = {}
+    for engine, seconds in time_engines(config, traces, repeats).items():
+        engines[engine] = {
+            "seconds": round(seconds, 4),
+            "quads_per_s": round(total_quads / seconds, 1),
+            "lines_per_s": round(total_lines / seconds, 1),
+        }
+        print(f"engine {engine:9s}: {seconds:7.3f} s  "
+              f"({total_quads / seconds:,.0f} quads/s)")
+    speedup = engines["reference"]["seconds"] / engines["fast"]["seconds"]
+    print(f"fast-engine speedup: {speedup:.2f}x")
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-traces-")
+    try:
+        store = TraceCheckpointStore(store_dir)
+        for alias, trace in traces.items():
+            store.save(trace_key(config, GAMES[alias].recipe), trace)
+        serial_s = time_sweep(config, games, 1, store)
+        parallel_s = time_sweep(config, games, jobs, store)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    print(f"sweep serial {serial_s:.3f} s, jobs={jobs} {parallel_s:.3f} s")
+
+    return {
+        "scale": f"{config.screen_width}x{config.screen_height}",
+        "games": list(games),
+        "repeats": repeats,
+        "render_seconds": round(render_s, 4),
+        "replays_timed": replays,
+        "total_quads": total_quads,
+        "total_texture_lines": total_lines,
+        "engines": engines,
+        "fast_vs_reference_speedup": round(speedup, 3),
+        "sweep": {
+            "grid_points": 2,
+            "serial_seconds": round(serial_s, 4),
+            "jobs": jobs,
+            "parallel_seconds": round(parallel_s, 4),
+            "parallel_scaling": round(serial_s / parallel_s, 3),
+        },
+    }
+
+
+def check_regression(result: dict, baseline_path: Path) -> int:
+    """Exit code 1 on a > ``REGRESSION_FACTOR`` throughput regression."""
+    baseline = json.loads(baseline_path.read_text())
+    base_tp = baseline["engines"]["fast"]["quads_per_s"]
+    measured = result["engines"]["fast"]["quads_per_s"]
+    floor = base_tp / REGRESSION_FACTOR
+    print(f"regression gate: measured {measured:,.0f} quads/s vs "
+          f"baseline {base_tp:,.0f} (floor {floor:,.0f})")
+    if measured < floor:
+        print(f"FAIL: fast-engine throughput regressed more than "
+              f"{REGRESSION_FACTOR}x vs {baseline_path}", file=sys.stderr)
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", metavar="BASELINE.json", default=None,
+        help="compare against a committed baseline and fail on a "
+             f">{REGRESSION_FACTOR}x throughput regression",
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(REPO_ROOT / OUTPUT_NAME),
+        help=f"output path (default: {OUTPUT_NAME} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench()
+    output = Path(args.output)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    if args.check:
+        return check_regression(result, Path(args.check))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

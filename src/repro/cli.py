@@ -133,13 +133,48 @@ def cmd_render(args) -> int:
     return 0
 
 
+def _print_replay_profile(profiler, render_s: float, replay_s: float) -> None:
+    """Per-phase wall times plus the hottest profile entries."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    # The pass-2 timing model, attributed from the profile: cumulative
+    # time under RasterPipelineModel.simulate.
+    timing_s = sum(
+        ct
+        for (filename, _line, name), (_cc, _nc, _tt, ct, _callers)
+        in stats.stats.items()
+        if name == "simulate" and "pipeline" in filename
+    )
+    print("\nprofile (phases)")
+    print(f"  pass-1 render : {render_s:8.3f} s")
+    print(f"  pass-2 replay : {replay_s:8.3f} s")
+    print(f"    timing model: {timing_s:8.3f} s (within replay)")
+    print("\nprofile (top functions by cumulative time)")
+    stats.sort_stats("cumulative").print_stats(15)
+
+
 def cmd_replay(args) -> int:
     config = args.screen
     designs = _designs(args.design)
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        import time
+        t0 = time.perf_counter()
     workload = build_game(args.game, config)
     trace, _ = FrameRenderer(config).render(workload)
     replayer = TraceReplayer(config)
+    if profiling:
+        import cProfile
+        render_s = time.perf_counter() - t0
+        profiler = cProfile.Profile()
+        t1 = time.perf_counter()
+        profiler.enable()
     results = [replayer.run(trace, design) for design in designs]
+    if profiling:
+        profiler.disable()
+        replay_s = time.perf_counter() - t1
+        _print_replay_profile(profiler, render_s, replay_s)
     if args.json:
         import json
         print(json.dumps(
@@ -207,6 +242,8 @@ def cmd_sweep(args) -> int:
         raise ConfigError("--max-retries must be >= 0")
     if args.budget is not None and args.budget <= 0:
         raise ConfigError("--budget must be a positive quad count")
+    if args.jobs < 1:
+        raise ConfigError("--jobs must be >= 1")
     runner = ExperimentRunner(
         args.screen,
         games=_games(args.games),
@@ -223,6 +260,7 @@ def cmd_sweep(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
+        jobs=args.jobs,
     )
     exit_code = {"success": EXIT_OK, "partial": EXIT_PARTIAL}.get(
         report.outcome, EXIT_FATAL
@@ -453,6 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-d", "--design", action="append", metavar="NAME",
         help="design point (repeatable; default: baseline + HLB-flp2)",
     )
+    p_replay.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall times (render / replay / timing "
+             "model) and the hottest profile entries",
+    )
     _add_common(p_replay)
 
     p_suite = sub.add_parser("suite", help="whole-suite comparison")
@@ -499,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--budget", type=int, default=None, metavar="QUADS",
         help="kill any replay that processes more than QUADS quads",
+    )
+    p_sweep.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the replay fan-out (default 1: "
+             "serial; results are identical either way)",
     )
     _add_common(p_sweep)
 

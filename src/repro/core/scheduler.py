@@ -53,6 +53,14 @@ class QuadScheduler:
         )
         side = config.quads_per_tile_side
         self._slot_map: List[List[int]] = grouping.slot_map(side)
+        #: Row-major flattening of the slot map, for the replay hot path.
+        self._slot_flat: Tuple[int, ...] = tuple(
+            slot for row in self._slot_map for slot in row
+        )
+        # core_lut results keyed by (permutation, n_cores): the traversal
+        # revisits a handful of distinct permutations, so the per-step
+        # quad -> core tables collapse to a few shared tuples.
+        self._lut_cache: dict = {}
 
     # -- queries -------------------------------------------------------------
 
@@ -71,6 +79,24 @@ class QuadScheduler:
     def permutation_at(self, step: int) -> Permutation:
         """slot -> SC binding at traversal position ``step``."""
         return self._perms[step]
+
+    def core_lut(self, step: int, n_cores: int) -> Tuple[int, ...]:
+        """Flat quad -> SC table for one traversal step.
+
+        ``lut[qy * side + qx]`` is the shader core (modulo ``n_cores``,
+        for the single-SC upper-bound configuration) executing in-tile
+        quad ``(qx, qy)`` — the whole per-quad schedule of the step as
+        one precomputed tuple, replacing a ``perm[slot_of(qx, qy)]``
+        call per quad.
+        """
+        perm = self._perms[step]
+        key = (perm, n_cores)
+        lut = self._lut_cache.get(key)
+        if lut is None:
+            cores = [core % n_cores for core in perm]
+            lut = tuple(cores[slot] for slot in self._slot_flat)
+            self._lut_cache[key] = lut
+        return lut
 
     def core_of(self, step: int, qx: int, qy: int) -> int:
         """Shader core executing quad ``(qx, qy)`` of the step-th tile."""

@@ -1,16 +1,36 @@
-"""Set-associative LRU cache model.
+"""Set-associative LRU cache models.
 
 Caches are indexed by byte address; internally everything is tracked at
-cache-line granularity.  The model is purely functional w.r.t. timing —
-it reports hits and misses, and the surrounding hierarchy converts those
+cache-line granularity.  The models are purely functional w.r.t. timing —
+they report hits and misses, and the surrounding hierarchy converts those
 into latencies.
+
+Two implementations share one contract:
+
+* :class:`Cache` — the fast engine.  Set contents live in flat
+  ``tags``/``ages`` arrays (one slot per way) with a line -> slot index
+  for O(1) hit detection; true-LRU order is a monotone age stamp, so a
+  hit is two array writes and an eviction is a short scan of one set's
+  ways.  The batched :meth:`Cache.access_lines` entry point processes a
+  whole footprint (e.g. one quad's texture lines) per call — the hot
+  path of the replay engine.
+* :class:`ReferenceCache` — the original ``OrderedDict``-per-set model,
+  kept as the executable specification.  Differential tests drive both
+  on identical access streams and require bit-identical counters,
+  hit/miss sequences, eviction order and resident sets.
+
+Age stamps replicate ``OrderedDict`` recency order exactly: a hit
+re-stamps the line (``move_to_end``), a fill stamps it newest, and the
+victim is the minimum stamp of the set (``popitem(last=False)``).
+Stamps are unique (one global tick per access), so LRU choice is never
+ambiguous.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import CacheConfig
 from repro.errors import ConfigError
@@ -50,11 +70,184 @@ class CacheStats:
 
 @dataclass
 class Cache:
-    """A set-associative cache with true-LRU replacement.
+    """A set-associative cache with true-LRU replacement (fast engine).
 
-    Parameters come from a :class:`~repro.config.CacheConfig`.  Each set is
-    an ``OrderedDict`` mapping line-tag -> None, oldest first, so a hit is
-    a ``move_to_end`` and a replacement pops the front.
+    Parameters come from a :class:`~repro.config.CacheConfig`.  Backing
+    store: ``_tags[set * ways + way]`` holds the resident line number
+    (-1 = invalid) and ``_ages`` its last-touch stamp; ``_index`` maps
+    resident lines to their slot so the hit path never scans.
+    """
+
+    config: CacheConfig
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._line_shift = self.config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != self.config.line_bytes:
+            raise ConfigError("line size must be a power of two")
+        self._num_sets = self.config.num_sets
+        self._ways = self.config.associativity
+        slots = self._num_sets * self._ways
+        self._tags: List[int] = [-1] * slots
+        self._ages: List[int] = [0] * slots
+        self._index: Dict[int, int] = {}
+        self._tick = 0
+
+    # -- address helpers ------------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        """Cache-line number containing ``address``."""
+        return address >> self._line_shift
+
+    def _set_index(self, line: int) -> int:
+        return line % self._num_sets
+
+    # -- operations -----------------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Access a byte address.  Returns ``True`` on hit.
+
+        On a miss, the line is filled and the LRU line of its set is
+        evicted if the set is full.
+        """
+        return self.access_line(self.line_of(address))
+
+    def access_line(self, line: int) -> bool:
+        """Access by precomputed line number (hot path for the simulator)."""
+        hits, _ = self.access_lines((line,))
+        return hits == 1
+
+    def access_lines(self, lines: Sequence[int]) -> Tuple[int, List[int]]:
+        """Access a whole footprint of line numbers in stream order.
+
+        Returns ``(hits, missed_lines)`` where ``missed_lines`` preserves
+        the order misses occurred — exactly the stream the next level of
+        the hierarchy must see.  Counter updates are identical to calling
+        :meth:`access_line` once per element.
+        """
+        tags = self._tags
+        ages = self._ages
+        index = self._index
+        num_sets = self._num_sets
+        ways = self._ways
+        tick = self._tick
+        hits = 0
+        evictions = 0
+        missed: List[int] = []
+        for line in lines:
+            tick += 1
+            slot = index.get(line)
+            if slot is not None:
+                ages[slot] = tick
+                hits += 1
+                continue
+            missed.append(line)
+            base = (line % num_sets) * ways
+            victim = base
+            victim_age = None
+            for i in range(base, base + ways):
+                tag = tags[i]
+                if tag == -1:
+                    victim = i
+                    victim_age = None
+                    break
+                age = ages[i]
+                if victim_age is None or age < victim_age:
+                    victim_age = age
+                    victim = i
+            if victim_age is not None:
+                evictions += 1
+                del index[tags[victim]]
+            tags[victim] = line
+            ages[victim] = tick
+            index[line] = victim
+        self._tick = tick
+        stats = self.stats
+        stats.accesses += len(missed) + hits
+        stats.hits += hits
+        stats.misses += len(missed)
+        stats.evictions += evictions
+        return hits, missed
+
+    # -- inlined-loop support --------------------------------------------------
+
+    def acquire_state(self) -> Tuple[Dict[int, int], List[int], List[int], int, int, int]:
+        """Expose mutable internals for an inlined hot loop.
+
+        Returns ``(index, ages, tags, num_sets, ways, tick)``.  The
+        replay engine's per-quad loop replicates the
+        :meth:`access_lines` body over these directly (one Python call
+        per quad is too expensive at trace scale); the caller must
+        finish with :meth:`release_state` to write back the tick and
+        the statistics deltas.  The differential tests pin the inlined
+        copy to this class bit-for-bit.
+        """
+        return (
+            self._index,
+            self._ages,
+            self._tags,
+            self._num_sets,
+            self._ways,
+            self._tick,
+        )
+
+    def release_state(
+        self, tick: int, hits: int, misses: int, evictions: int
+    ) -> None:
+        """Write back the tick and statistics after an inlined loop.
+
+        The counter updates are plain sums, so deferring them to one
+        bulk update per batch leaves the final statistics identical to
+        per-access updates.
+        """
+        self._tick = tick
+        stats = self.stats
+        stats.accesses += hits + misses
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        return self.line_of(address) in self._index
+
+    def invalidate(self, address: Optional[int] = None) -> None:
+        """Invalidate one line (or the whole cache when ``address`` is None)."""
+        if address is None:
+            self._tags = [-1] * (self._num_sets * self._ways)
+            self._ages = [0] * (self._num_sets * self._ways)
+            self._index.clear()
+            self._tick = 0
+            return
+        line = self.line_of(address)
+        slot = self._index.pop(line, None)
+        if slot is not None:
+            self._tags[slot] = -1
+            self._ages[slot] = 0
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return len(self._index)
+
+    def resident_line_set(self) -> set:
+        """The set of all resident line numbers (for replication analysis)."""
+        return set(self._index)
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self.invalidate()
+        self.stats.reset()
+
+
+@dataclass
+class ReferenceCache:
+    """The original ``OrderedDict``-per-set LRU model (specification).
+
+    Each set is an ``OrderedDict`` mapping line-tag -> None, oldest
+    first, so a hit is a ``move_to_end`` and a replacement pops the
+    front.  :class:`Cache` must match this model counter-for-counter;
+    the reference replay engine and the differential tests run on it.
     """
 
     config: CacheConfig
@@ -86,22 +279,10 @@ class Cache:
         On a miss, the line is filled and the LRU line of its set is
         evicted if the set is full.
         """
-        line = self.line_of(address)
-        cache_set = self._sets[self._set_index(line)]
-        self.stats.accesses += 1
-        if line in cache_set:
-            cache_set.move_to_end(line)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        if len(cache_set) >= self.config.associativity:
-            cache_set.popitem(last=False)
-            self.stats.evictions += 1
-        cache_set[line] = None
-        return False
+        return self.access_line(self.line_of(address))
 
     def access_line(self, line: int) -> bool:
-        """Access by precomputed line number (hot path for the simulator)."""
+        """Access by precomputed line number."""
         cache_set = self._sets[line % self._num_sets]
         self.stats.accesses += 1
         if line in cache_set:
@@ -114,6 +295,18 @@ class Cache:
             self.stats.evictions += 1
         cache_set[line] = None
         return False
+
+    def access_lines(self, lines: Iterable[int]) -> Tuple[int, List[int]]:
+        """Batched counterpart of :meth:`access_line` (same contract as
+        :meth:`Cache.access_lines`)."""
+        hits = 0
+        missed: List[int] = []
+        for line in lines:
+            if self.access_line(line):
+                hits += 1
+            else:
+                missed.append(line)
+        return hits, missed
 
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU state or statistics."""

@@ -56,5 +56,19 @@ class DRAM:
         self.stats.total_latency += latency
         return latency
 
+    def access_lines(self, lines) -> int:
+        """Record a batch of accesses; returns their total latency.
+
+        Counter updates are identical to calling :meth:`access_line`
+        once per element (latency is a pure function of the line, so the
+        batch total is order-independent).
+        """
+        total = 0
+        for line in lines:
+            total += self.latency_for_line(line)
+        self.stats.accesses += len(lines)
+        self.stats.total_latency += total
+        return total
+
     def reset(self) -> None:
         self.stats.reset()

@@ -10,17 +10,30 @@ The hierarchy exposes one entry point per traffic class
 returning an :class:`AccessResult` with the level serviced and total
 latency, while maintaining per-level statistics.  ``l2.stats.accesses`` is
 the paper's headline "L2 Accesses" metric.
+
+The batched counterparts (:meth:`texture_access_lines`,
+:meth:`vertex_access_lines`, :meth:`tile_access_lines`) walk a whole
+footprint per call without allocating per-access result records; they
+update every counter in the same per-line order as the scalar entry
+points and are the replay engine's hot path.  ``backend`` selects the
+cache implementation: ``"fast"`` (array-backed, the default) or
+``"reference"`` (the OrderedDict specification the differential tests
+compare against).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List
+from typing import List, Sequence, Tuple
 
 from repro.config import GPUConfig
-from repro.memory.cache import Cache, CacheStats
+from repro.errors import ConfigError
+from repro.memory.cache import Cache, CacheStats, ReferenceCache
 from repro.memory.dram import DRAM
+
+#: backend name -> cache class, for :class:`MemoryHierarchy`.
+CACHE_BACKENDS = {"fast": Cache, "reference": ReferenceCache}
 
 
 class ServiceLevel(Enum):
@@ -50,14 +63,23 @@ class MemoryHierarchy:
     accumulate until :meth:`reset`.
     """
 
-    def __init__(self, config: GPUConfig):
+    def __init__(self, config: GPUConfig, backend: str = "fast"):
+        try:
+            cache_cls = CACHE_BACKENDS[backend]
+        except KeyError:
+            raise ConfigError(
+                f"unknown cache backend {backend!r}; "
+                f"choose from {', '.join(sorted(CACHE_BACKENDS))}"
+            ) from None
         self.config = config
+        self.backend = backend
         self.texture_l1s: List[Cache] = [
-            Cache(config.texture_cache) for _ in range(config.num_shader_cores)
+            cache_cls(config.texture_cache)
+            for _ in range(config.num_shader_cores)
         ]
-        self.vertex_cache = Cache(config.vertex_cache)
-        self.tile_cache = Cache(config.tile_cache)
-        self.l2 = Cache(config.l2_cache)
+        self.vertex_cache = cache_cls(config.vertex_cache)
+        self.tile_cache = cache_cls(config.tile_cache)
+        self.l2 = cache_cls(config.l2_cache)
         self.dram = DRAM(config.dram)
 
     # -- internal -------------------------------------------------------------
@@ -94,6 +116,48 @@ class MemoryHierarchy:
         return self._access(
             self.tile_cache, self.config.tile_cache.hit_latency, line
         )
+
+    # -- batched traffic (the replay engine's hot path) -----------------------
+
+    def _access_lines(self, l1, lines: Sequence[int]) -> Tuple[int, int]:
+        """Drive ``lines`` through ``l1`` and the shared L2/DRAM below it.
+
+        Returns ``(l1_hits, below_latency)`` where ``below_latency`` is
+        the summed service latency beneath the L1 for every missing line
+        (L2 hit latency per miss, plus the DRAM fill latency for lines
+        the L2 missed too).  Every cache and DRAM counter advances
+        exactly as if each line had gone through the scalar path.
+        """
+        hits, missed = l1.access_lines(lines)
+        if not missed:
+            return hits, 0
+        _, to_dram = self.l2.access_lines(missed)
+        below = len(missed) * self.config.l2_cache.hit_latency
+        if to_dram:
+            below += self.dram.access_lines(to_dram)
+        return hits, below
+
+    def texture_access_lines(
+        self, sc_id: int, lines: Sequence[int], miss_overhead: int = 0
+    ) -> Tuple[int, int]:
+        """Texture footprint fetch from shader core ``sc_id``.
+
+        Returns ``(l1_hits, stall_cycles)``; each L1 miss stalls for the
+        service latency below the L1 plus ``miss_overhead`` (the NoC +
+        replay penalty the shader model charges per miss) — the same
+        arithmetic the scalar replay path applies per line.
+        """
+        hits, below = self._access_lines(self.texture_l1s[sc_id], lines)
+        misses = len(lines) - hits
+        return hits, below + misses * miss_overhead
+
+    def vertex_access_lines(self, lines: Sequence[int]) -> Tuple[int, int]:
+        """Batched Geometry Pipeline fetches; returns (hits, below-L1 latency)."""
+        return self._access_lines(self.vertex_cache, lines)
+
+    def tile_access_lines(self, lines: Sequence[int]) -> Tuple[int, int]:
+        """Batched Parameter Buffer fetches; returns (hits, below-L1 latency)."""
+        return self._access_lines(self.tile_cache, lines)
 
     # -- statistics -----------------------------------------------------------
 

@@ -128,7 +128,13 @@ class RasterPipelineModel:
     # -- stage-work helpers -----------------------------------------------------
 
     def _fragment_cycles(self, subtile: SubtileWork, core: ShaderCore) -> int:
-        return core.execute_subtile(subtile.warp_costs()).total_cycles
+        # execute_totals == execute_subtile(subtile.warp_costs()): the
+        # uniform warp split sums back to exactly these totals.
+        return core.execute_totals(
+            subtile.num_quads,
+            subtile.compute_cycles,
+            subtile.stall_cycles,
+        ).total_cycles
 
     def _fixed_stage_cycles(self, subtile: SubtileWork) -> int:
         """Early-Z / Blending unit time: fixed throughput per quad."""

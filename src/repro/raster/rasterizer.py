@@ -190,11 +190,20 @@ class Rasterizer:
         quads: List[Quad] = []
         height, width = passed.shape
         shader = mode.shader
+        # 2x2 block reduction over the whole region at once; nonzero's
+        # row-major order reproduces the (by, bx) nested-loop order.
+        grid = passed
+        if height % 2 or width % 2:
+            grid = np.zeros(
+                (height + height % 2, width + width % 2), dtype=bool
+            )
+            grid[:height, :width] = passed
+        block_any = grid.reshape(
+            grid.shape[0] // 2, 2, grid.shape[1] // 2, 2
+        ).any(axis=(1, 3))
         covered_blocks = [
-            (bx, by)
-            for by in range(0, height, 2)
-            for bx in range(0, width, 2)
-            if passed[by : by + 2, bx : bx + 2].any()
+            (int(bx) * 2, int(by) * 2)
+            for by, bx in zip(*np.nonzero(block_any))
         ]
         if not covered_blocks:
             return quads

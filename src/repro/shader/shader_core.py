@@ -78,19 +78,32 @@ class ShaderCore:
 
     def execute_subtile(self, warps: Sequence[WarpCost]) -> SubtileExecution:
         """Cycles to drain one subtile's warps on this SC."""
-        n = len(warps)
-        if n == 0:
+        return self.execute_totals(
+            len(warps),
+            sum(w.compute_cycles for w in warps),
+            sum(w.stall_cycles for w in warps),
+        )
+
+    def execute_totals(
+        self, num_warps: int, compute: int, stall: int
+    ) -> SubtileExecution:
+        """Closed-form :meth:`execute_subtile` on subtile totals.
+
+        The analytic model depends only on the warp count and the summed
+        compute/stall cycles, so callers that already hold totals (the
+        replay engine's :class:`~repro.raster.pipeline.SubtileWork`) skip
+        materialising per-warp costs entirely.
+        """
+        if num_warps == 0:
             return SubtileExecution(0, 0, 0, 0)
-        compute = sum(w.compute_cycles for w in warps)
-        stall = sum(w.stall_cycles for w in warps)
         issue = -(-compute // self.config.issue_rate)
-        overlap = min(self.config.max_warps, n)
+        overlap = min(self.config.max_warps, num_warps)
         total = issue + -(-stall // overlap)
         self.busy_cycles += total
         self.issue_cycles += issue
-        self.warps_executed += n
+        self.warps_executed += num_warps
         return SubtileExecution(
-            num_warps=n,
+            num_warps=num_warps,
             compute_cycles=issue,
             stall_cycles=stall,
             total_cycles=total,

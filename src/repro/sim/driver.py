@@ -44,6 +44,44 @@ class TileTraceEntry:
     fetch_lines: List[int] = field(default_factory=list)
     fetch_cycles: int = 1
     quads: List[Quad] = field(default_factory=list)
+    #: Lazy cache for :meth:`quad_stream`; derived data, never pickled
+    #: or compared.
+    _stream: Optional[List[Tuple[int, Tuple[int, ...], int, int]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _stream_side: int = field(default=0, repr=False, compare=False)
+
+    def quad_stream(
+        self, side: int
+    ) -> List[Tuple[int, Tuple[int, ...], int, int]]:
+        """Per quad: ``(qy * side + qx, texture_lines, num_lines,
+        compute_cycles)``.
+
+        The flattened form the replay hot loop consumes — quad identity
+        reduced to the scheduler-LUT slot, plus the per-quad cost
+        inputs.  Computed once per entry and reused across every design
+        point and engine replaying the trace (the derivation is pure,
+        so sharing cannot couple replays).
+        """
+        stream = self._stream
+        if stream is None or self._stream_side != side:
+            stream = [
+                (
+                    q.qy * side + q.qx,
+                    q.texture_lines,
+                    len(q.texture_lines),
+                    q.alu_cycles + len(q.texture_lines),
+                )
+                for q in self.quads
+            ]
+            self._stream = stream
+            self._stream_side = side
+        return stream
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_stream"] = None  # derived; keep checkpoints lean
+        return state
 
 
 @dataclass

@@ -152,6 +152,32 @@ class ExperimentRunner:
             self.checkpoint_store.save(key, trace)
         return trace
 
+    def prepare_traces(
+        self, store: Optional[TraceCheckpointStore] = None
+    ) -> Dict[str, str]:
+        """Materialise every game's pass-1 trace into a checkpoint store.
+
+        Returns ``{alias: trace_key}``.  The parallel sweep calls this
+        in the parent process so each trace is rendered exactly once;
+        workers then load them from ``store`` (or inherit them via
+        fork).  ``store`` defaults to the runner's own checkpoint store
+        and must be given when none is attached.
+        """
+        store = store if store is not None else self.checkpoint_store
+        if store is None:
+            raise ReplayError(
+                "prepare_traces needs a TraceCheckpointStore: the runner "
+                "has none attached and no store was passed"
+            )
+        keys: Dict[str, str] = {}
+        for alias in self.games:
+            trace = self.trace_for(alias)
+            key = trace_key(self.config, GAMES[alias].recipe)
+            if not store.contains(key):
+                store.save(key, trace)
+            keys[alias] = key
+        return keys
+
     # -- pass 2 -----------------------------------------------------------------
 
     def run(self, alias: str, design: DTexLConfig) -> RunResult:

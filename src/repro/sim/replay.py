@@ -5,6 +5,17 @@ quad to a shader core through the quad scheduler, drives the texture
 accesses through the private-L1/shared-L2 hierarchy, and feeds the
 resulting per-subtile costs to the coupled or decoupled pipeline timing
 model and the energy model.
+
+Two engines produce bit-identical :class:`RunResult` records:
+
+* ``"fast"`` (default) — batched: each quad's whole texture footprint
+  goes through :meth:`~repro.memory.hierarchy.MemoryHierarchy.
+  texture_access_lines` in one call, the per-tile quad -> core schedule
+  is a precomputed :meth:`~repro.core.scheduler.QuadScheduler.core_lut`
+  table, and per-subtile cycles accumulate in flat per-core arrays.
+* ``"reference"`` — the original per-line loop over scalar
+  ``texture_access`` calls on the ``OrderedDict`` cache backend, kept
+  as the executable specification for differential tests.
 """
 
 from __future__ import annotations
@@ -14,7 +25,11 @@ from typing import List, Optional
 
 from repro.config import GPUConfig
 from repro.core.dtexl import DTexLConfig
+from repro.errors import ConfigError
 from repro.memory.hierarchy import MemoryHierarchy
+
+#: Replay engine names accepted by :class:`TraceReplayer`.
+ENGINES = ("fast", "reference")
 from repro.power.energy_model import EnergyBreakdown, EnergyModel, EnergyParams
 from repro.raster.pipeline import (
     FrameTiming,
@@ -93,12 +108,19 @@ class TraceReplayer:
         config: GPUConfig,
         energy_params: Optional[EnergyParams] = None,
         budget: Optional[ReplayBudget] = None,
+        engine: str = "fast",
     ):
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"unknown replay engine {engine!r}; "
+                f"choose from {', '.join(ENGINES)}"
+            )
         self.config = config
         self.energy_model = EnergyModel(energy_params or EnergyParams())
         #: Optional work ceiling; a replay that exceeds it raises
         #: :class:`~repro.errors.BudgetExceededError` instead of running on.
         self.budget = budget or ReplayBudget()
+        self.engine = engine
 
     def run(
         self,
@@ -113,40 +135,38 @@ class TraceReplayer:
         for this frame only.
         """
         gpu = design.effective_gpu_config(self.config)
+        fast = self.engine == "fast"
         if hierarchy is None:
-            hierarchy = MemoryHierarchy(gpu)
+            hierarchy = MemoryHierarchy(
+                gpu, backend="fast" if fast else "reference"
+            )
         before = _CounterSnapshot.of(hierarchy)
         # The scheduler always reasons over 4 subtile slots; the
         # upper-bound run folds them onto its single SC below.
         scheduler = design.build_scheduler(self.config)
         n_cores = gpu.num_shader_cores
-        l1_hit_latency = gpu.texture_cache.hit_latency
-        miss_overhead = gpu.shader.miss_overhead_cycles
 
-        for line in trace.vertex_lines:
-            hierarchy.vertex_access(line)
+        if fast:
+            hierarchy.vertex_access_lines(trace.vertex_lines)
+        else:
+            for line in trace.vertex_lines:
+                hierarchy.vertex_access(line)
 
         tile_works: List[TileWork] = []
         per_tile_counts: List[List[int]] = []
         total_quads = 0
+        process = self._tile_quads_fast if fast else self._tile_quads_reference
         for step, tile in enumerate(scheduler.tiles):
             entry = trace.tiles.get(tile) or TileTraceEntry()
-            for line in entry.fetch_lines:
-                hierarchy.tile_access(line)
-            subtiles = [SubtileWork() for _ in range(n_cores)]
-            perm = scheduler.permutation_at(step)
-            slot_of = scheduler.slot_of
-            for quad in entry.quads:
-                core = perm[slot_of(quad.qx, quad.qy)] % n_cores
-                stall = 0
-                for line in quad.texture_lines:
-                    result = hierarchy.texture_access(core, line)
-                    if not result.l1_hit:
-                        stall += (
-                            result.latency - l1_hit_latency + miss_overhead
-                        )
-                subtiles[core].add_quad(quad.compute_cycles, stall)
-                total_quads += 1
+            if fast:
+                hierarchy.tile_access_lines(entry.fetch_lines)
+            else:
+                for line in entry.fetch_lines:
+                    hierarchy.tile_access(line)
+            subtiles, counts = process(
+                entry, scheduler, step, hierarchy, gpu, n_cores
+            )
+            total_quads += len(entry.quads)
             tile_works.append(
                 TileWork(
                     tile=tile,
@@ -155,7 +175,7 @@ class TraceReplayer:
                     subtiles=subtiles,
                 )
             )
-            per_tile_counts.append([s.num_quads for s in subtiles])
+            per_tile_counts.append(counts)
             self.budget.check_quads(total_quads, design.name)
 
         replication = hierarchy.replication_factor()
@@ -199,3 +219,162 @@ class TraceReplayer:
             l1_replication_factor=replication,
             framebuffer_write_lines=fb_lines,
         )
+
+    # -- per-tile quad processing ---------------------------------------------
+
+    @staticmethod
+    def _tile_quads_fast(entry, scheduler, step, hierarchy, gpu, n_cores):
+        """Batched quad stream of one tile: returns (subtiles, counts).
+
+        One ``texture_access_lines`` call per quad, a precomputed
+        quad -> core table, and flat per-core accumulators instead of
+        per-quad ``SubtileWork`` attribute updates.  Arithmetic is
+        line-for-line the reference path's.
+        """
+        lut = scheduler.core_lut(step, n_cores)
+        side = scheduler.config.quads_per_tile_side
+        # Every L1 miss costs the L2 hit latency plus the NoC/replay
+        # overhead; an L2 miss adds the DRAM fill on top.
+        miss_cost = gpu.l2_cache.hit_latency + gpu.shader.miss_overhead_cycles
+
+        # Inlined Cache.access_lines over exported per-L1 (and shared
+        # L2) state: one Python call per quad is too expensive at trace
+        # scale, so the LRU body is replicated here (pinned bit-for-bit
+        # by the differential tests) and the statistics flush once per
+        # tile.
+        l1s = hierarchy.texture_l1s
+        state = [l1.acquire_state() for l1 in l1s]
+        l1_index = [s[0] for s in state]
+        l1_ages = [s[1] for s in state]
+        l1_tags = [s[2] for s in state]
+        num_sets = state[0][3]
+        ways = state[0][4]
+        l1_tick = [s[5] for s in state]
+        l1_hits = [0] * n_cores
+        l1_misses = [0] * n_cores
+        l1_evictions = [0] * n_cores
+
+        l2 = hierarchy.l2
+        l2_index, l2_ages, l2_tags, l2_sets, l2_ways, l2_tick = (
+            l2.acquire_state()
+        )
+        l2_hits = l2_miss = l2_evictions = 0
+        dram = hierarchy.dram
+        dram_min = dram.config.min_latency
+        dram_band = dram.config.max_latency - dram_min + 1
+        dram_n = dram_latency = 0
+
+        num_quads = [0] * n_cores
+        compute = [0] * n_cores
+        stalls = [0] * n_cores
+        for slot, lines, n_lines, issue in entry.quad_stream(side):
+            core = lut[slot]
+            num_quads[core] += 1
+            compute[core] += issue
+            if not lines:
+                continue
+            index = l1_index[core]
+            ages = l1_ages[core]
+            tick = l1_tick[core]
+            n_miss = 0
+            stall = 0
+            for line in lines:
+                tick += 1
+                slot = index.get(line)
+                if slot is not None:
+                    ages[slot] = tick
+                    continue
+                n_miss += 1
+                tags = l1_tags[core]
+                base = (line % num_sets) * ways
+                victim = base
+                victim_age = None
+                for i in range(base, base + ways):
+                    tag = tags[i]
+                    if tag == -1:
+                        victim = i
+                        victim_age = None
+                        break
+                    age = ages[i]
+                    if victim_age is None or age < victim_age:
+                        victim_age = age
+                        victim = i
+                if victim_age is not None:
+                    l1_evictions[core] += 1
+                    del index[tags[victim]]
+                tags[victim] = line
+                ages[victim] = tick
+                index[line] = victim
+                # Below the L1: the shared L2 (same inlined LRU body),
+                # then DRAM's deterministic banded latency — the Knuth
+                # multiplicative hash from DRAM.latency_for_line, same
+                # arithmetic as texture_access_lines.
+                l2_tick += 1
+                slot2 = l2_index.get(line)
+                if slot2 is not None:
+                    l2_ages[slot2] = l2_tick
+                    l2_hits += 1
+                    stall += miss_cost
+                    continue
+                l2_miss += 1
+                base = (line % l2_sets) * l2_ways
+                victim = base
+                victim_age = None
+                for i in range(base, base + l2_ways):
+                    tag = l2_tags[i]
+                    if tag == -1:
+                        victim = i
+                        victim_age = None
+                        break
+                    age = l2_ages[i]
+                    if victim_age is None or age < victim_age:
+                        victim_age = age
+                        victim = i
+                if victim_age is not None:
+                    l2_evictions += 1
+                    del l2_index[l2_tags[victim]]
+                l2_tags[victim] = line
+                l2_ages[victim] = l2_tick
+                l2_index[line] = victim
+                dram_n += 1
+                fill = dram_min + ((line * 2654435761) >> 7) % dram_band
+                dram_latency += fill
+                stall += miss_cost + fill
+            l1_tick[core] = tick
+            if n_miss:
+                l1_hits[core] += n_lines - n_miss
+                l1_misses[core] += n_miss
+                stalls[core] += stall
+            else:
+                l1_hits[core] += n_lines
+
+        for b in range(n_cores):
+            l1s[b].release_state(
+                l1_tick[b], l1_hits[b], l1_misses[b], l1_evictions[b]
+            )
+        l2.release_state(l2_tick, l2_hits, l2_miss, l2_evictions)
+        dram.stats.accesses += dram_n
+        dram.stats.total_latency += dram_latency
+        subtiles = [
+            SubtileWork(num_quads[b], compute[b], stalls[b])
+            for b in range(n_cores)
+        ]
+        return subtiles, num_quads
+
+    @staticmethod
+    def _tile_quads_reference(entry, scheduler, step, hierarchy, gpu, n_cores):
+        """The original scalar per-line loop (executable specification)."""
+        l1_hit_latency = gpu.texture_cache.hit_latency
+        miss_overhead = gpu.shader.miss_overhead_cycles
+        subtiles = [SubtileWork() for _ in range(n_cores)]
+        perm = scheduler.permutation_at(step)
+        slot_of = scheduler.slot_of
+        for quad in entry.quads:
+            core = perm[slot_of(quad.qx, quad.qy)] % n_cores
+            stall = 0
+            for line in quad.texture_lines:
+                result = hierarchy.texture_access(core, line)
+                if not result.l1_hit:
+                    stall += result.latency - l1_hit_latency + miss_overhead
+            subtiles[core].add_quad(quad.compute_cycles, stall)
+        return subtiles, [s.num_quads for s in subtiles]

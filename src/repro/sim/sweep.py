@@ -13,6 +13,15 @@ checkpoint directory, completed rows are journaled as they finish and
 pass-1 traces are persisted, so a killed campaign resumes from where it
 died without re-rendering anything; a JSON manifest summarising the run
 is written alongside.
+
+With ``jobs > 1`` the (design point x game) replays fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The parent renders
+pass-1 exactly once and ships traces to workers through a
+:class:`~repro.sim.checkpoint.TraceCheckpointStore` (plus a fork-
+inherited in-memory cache, so forked workers never reload from disk);
+results are reassembled in grid-and-games order, so a parallel campaign
+produces bit-identical rows, failures and manifest contents to a serial
+one — only ``wall_time_s`` differs.
 """
 
 from __future__ import annotations
@@ -20,13 +29,17 @@ from __future__ import annotations
 import csv
 import io
 import os
+import shutil
+import tempfile
 import time
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dtexl import DTexLConfig
+from repro.errors import ConfigError
 from repro.sim.export import write_run_manifest
 from repro.sim.checkpoint import (
     SweepProgress,
@@ -35,6 +48,7 @@ from repro.sim.checkpoint import (
     config_hash,
 )
 from repro.sim.experiment import ExperimentRunner, SuiteResult
+from repro.sim.replay import TraceReplayer
 from repro.sim.resilience import (
     FailureRecord,
     OUTCOME_FATAL,
@@ -57,6 +71,59 @@ ROW_FIELDS = [
 TRACE_SUBDIR = "traces"
 #: Manifest filename inside the checkpoint dir.
 MANIFEST_FILENAME = "manifest.json"
+
+
+# -- parallel-executor plumbing (module level: must pickle to workers) --------
+
+#: Per-process trace cache keyed by ``(store_dir, trace_key)``.  The
+#: parent seeds it before creating the pool, so fork-started workers
+#: inherit every trace by memory sharing; spawn-started workers fall
+#: back to one integrity-checked store load per trace.
+_WORKER_TRACES: Dict[Tuple[str, str], object] = {}
+
+
+def _worker_trace(store_dir: str, key: str):
+    cache_key = (store_dir, key)
+    trace = _WORKER_TRACES.get(cache_key)
+    if trace is None:
+        trace = TraceCheckpointStore(store_dir).load(key)
+        _WORKER_TRACES[cache_key] = trace
+    return trace
+
+
+def _replay_task(
+    store_dir: str,
+    key: str,
+    config,
+    design: DTexLConfig,
+    energy_params,
+    budget,
+    engine: str,
+    design_name: str,
+    game: str,
+    policy: Optional[RetryPolicy],
+    guarded: bool,
+):
+    """One (design point, game) replay inside a worker process.
+
+    Unguarded tasks (the baseline) let exceptions propagate through the
+    future — a baseline failure is fatal, exactly as in a serial run.
+    Guarded tasks return the same ``(result, failure)`` pair
+    :func:`run_guarded` produces serially, so retry accounting and
+    failure records match bit-for-bit.
+    """
+    trace = _worker_trace(store_dir, key)
+    replayer = TraceReplayer(
+        config, energy_params=energy_params, budget=budget, engine=engine
+    )
+    if not guarded:
+        return replayer.run(trace, design), None
+    return run_guarded(
+        lambda: replayer.run(trace, design),
+        design_point=design_name,
+        game=game,
+        policy=policy,
+    )
 
 
 @dataclass
@@ -135,6 +202,7 @@ class DesignSweep:
         checkpoint_dir: Optional[os.PathLike] = None,
         resume: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        jobs: int = 1,
     ) -> SweepReport:
         """Evaluate every point; rows are ordered as the grid iterates.
 
@@ -144,8 +212,12 @@ class DesignSweep:
         it).  With ``checkpoint_dir``, traces and completed rows are
         persisted there and a manifest is written; with ``resume``,
         rows journaled by a previous run of the same campaign are
-        reused instead of recomputed.
+        reused instead of recomputed.  ``jobs > 1`` fans the replays
+        over worker processes; the report is bit-identical to a serial
+        run except for ``wall_time_s``.
         """
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
         start = time.monotonic()  # replint: disable=wall-clock -- campaign wall time for the manifest, never a simulated quantity
         progress: Optional[SweepProgress] = None
         if checkpoint_dir is not None:
@@ -165,6 +237,30 @@ class DesignSweep:
             config_hash=config_hash(runner.config),
             games=list(runner.games),
         )
+        if jobs == 1:
+            self._run_serial(
+                runner, retry_policy, completed, progress, report, manifest
+            )
+        else:
+            self._run_parallel(
+                runner, retry_policy, completed, progress, report, manifest,
+                jobs,
+            )
+
+        manifest.failures = list(report.failures)
+        manifest.wall_time_s = time.monotonic() - start  # replint: disable=wall-clock -- campaign wall time for the manifest, never a simulated quantity
+        report.wall_time_s = manifest.wall_time_s
+        report.manifest = manifest
+        if checkpoint_dir is not None:
+            write_run_manifest(
+                Path(checkpoint_dir) / MANIFEST_FILENAME, manifest
+            )
+        return report
+
+    def _run_serial(
+        self, runner, retry_policy, completed, progress, report, manifest
+    ) -> None:
+        """The in-process grid walk (one replay at a time)."""
         base: Optional[SuiteResult] = None
         for design in self.design_points():
             manifest.design_points_attempted.append(design.name)
@@ -183,33 +279,129 @@ class DesignSweep:
                 retry_policy=retry_policy,
                 fail_fast=True,
             )
-            if suite.failures:
-                report.failures.extend(suite.failures)
-                manifest.design_points_failed.append(design.name)
-                continue
-            row, failure = run_guarded(
-                lambda: self._row(design, suite, base, runner.games),
-                design_point=design.name,
-                policy=retry_policy,
+            self._assemble(
+                design, suite, base, runner, retry_policy, progress, report,
+                manifest,
             )
-            if failure is not None:
-                report.failures.append(failure)
-                manifest.design_points_failed.append(design.name)
-                continue
-            report.rows.append(row)
-            manifest.design_points_succeeded.append(design.name)
-            if progress is not None:
-                progress.record(design.name, row.as_dict())
 
-        manifest.failures = list(report.failures)
-        manifest.wall_time_s = time.monotonic() - start  # replint: disable=wall-clock -- campaign wall time for the manifest, never a simulated quantity
-        report.wall_time_s = manifest.wall_time_s
-        report.manifest = manifest
-        if checkpoint_dir is not None:
-            write_run_manifest(
-                Path(checkpoint_dir) / MANIFEST_FILENAME, manifest
+    def _run_parallel(
+        self, runner, retry_policy, completed, progress, report, manifest,
+        jobs: int,
+    ) -> None:
+        """Fan (design point x game) over a process pool.
+
+        The parent renders (or loads) every trace once, persists them
+        into a checkpoint store the workers read, and reassembles
+        results strictly in grid-and-games order, so rows, failures,
+        journal entries and manifest lists come out exactly as the
+        serial walk produces them.  ``fail_fast`` is emulated at
+        assembly: only the first failing game of a design point (in
+        games order) is kept, matching the serial early exit.
+        """
+        pending = [
+            design for design in self.design_points()
+            if design.name not in completed
+        ]
+        base: Optional[SuiteResult] = None
+        suites: Dict[str, SuiteResult] = {}
+        if pending:
+            store = runner.checkpoint_store
+            temp_dir: Optional[str] = None
+            if store is None:
+                temp_dir = tempfile.mkdtemp(prefix="repro-sweep-traces-")
+                store = TraceCheckpointStore(temp_dir)
+            store_dir = str(store.directory)
+            seeded: List[Tuple[str, str]] = []
+            try:
+                keys = runner.prepare_traces(store)
+                for alias, key in keys.items():
+                    cache_key = (store_dir, key)
+                    _WORKER_TRACES[cache_key] = runner.trace_for(alias)
+                    seeded.append(cache_key)
+                replayer = runner.replayer
+                common = (
+                    runner.config,
+                    replayer.energy_model.params,
+                    replayer.budget,
+                    replayer.engine,
+                )
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+
+                    def submit(design, alias, guarded) -> Future:
+                        config, params, budget, engine = common
+                        return pool.submit(
+                            _replay_task,
+                            store_dir, keys[alias], config, design, params,
+                            budget, engine, design.name, alias, retry_policy,
+                            guarded,
+                        )
+
+                    base_futures = {
+                        alias: submit(self.baseline, alias, False)
+                        for alias in runner.games
+                    }
+                    design_futures = {
+                        (design.name, alias): submit(design, alias, True)
+                        for design in pending
+                        for alias in runner.games
+                    }
+                    # Baseline first, in games order: the first failing
+                    # game's exception propagates fatally, as serially.
+                    base = SuiteResult(design_point=self.baseline.name)
+                    for alias in runner.games:
+                        run, _ = base_futures[alias].result()
+                        base.per_game[alias] = run
+                    for design in pending:
+                        suite = SuiteResult(design_point=design.name)
+                        for alias in runner.games:
+                            run, failure = design_futures[
+                                (design.name, alias)
+                            ].result()
+                            if failure is not None:
+                                suite.failures.append(failure)
+                                break  # fail_fast: keep only the first
+                            suite.per_game[alias] = run
+                        suites[design.name] = suite
+            finally:
+                for cache_key in seeded:
+                    _WORKER_TRACES.pop(cache_key, None)
+                if temp_dir is not None:
+                    shutil.rmtree(temp_dir, ignore_errors=True)
+
+        for design in self.design_points():
+            manifest.design_points_attempted.append(design.name)
+            if design.name in completed:
+                report.rows.append(SweepRow.from_dict(completed[design.name]))
+                report.resumed.append(design.name)
+                manifest.design_points_resumed.append(design.name)
+                continue
+            self._assemble(
+                design, suites[design.name], base, runner, retry_policy,
+                progress, report, manifest,
             )
-        return report
+
+    def _assemble(
+        self, design, suite, base, runner, retry_policy, progress, report,
+        manifest,
+    ) -> None:
+        """Turn one design point's suite result into a row or failures."""
+        if suite.failures:
+            report.failures.extend(suite.failures)
+            manifest.design_points_failed.append(design.name)
+            return
+        row, failure = run_guarded(
+            lambda: self._row(design, suite, base, runner.games),
+            design_point=design.name,
+            policy=retry_policy,
+        )
+        if failure is not None:
+            report.failures.append(failure)
+            manifest.design_points_failed.append(design.name)
+            return
+        report.rows.append(row)
+        manifest.design_points_succeeded.append(design.name)
+        if progress is not None:
+            progress.record(design.name, row.as_dict())
 
     @staticmethod
     def _row(

@@ -12,6 +12,7 @@ Subcommands::
     python -m repro lint [PATHS ...]          # replint static checks
     python -m repro archcheck [--dot out.dot] # whole-program arch checks
     python -m repro sanitize GAME [-d NAME]   # runtime invariant sanitizer
+    python -m repro chaos [--trials N]        # fault-injection campaign
 
 Common options: ``--screen WxH`` picks the simulated resolution
 (default 512x256; ``--screen paper`` = the Table II 1960x768), and
@@ -261,6 +262,7 @@ def cmd_sweep(args) -> int:
         resume=args.resume,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
         jobs=args.jobs,
+        task_timeout_s=args.task_timeout,
     )
     exit_code = {"success": EXIT_OK, "partial": EXIT_PARTIAL}.get(
         report.outcome, EXIT_FATAL
@@ -301,6 +303,45 @@ def cmd_sweep(args) -> int:
         print(f"\n{len(report.failures)} design point failure(s); "
               "see stderr for details")
     return exit_code
+
+
+def cmd_chaos(args) -> int:
+    from repro.sim.chaos import run_chaos
+    from repro.sim.resilience import RetryPolicy
+
+    report = run_chaos(
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        config=args.screen,
+        games=_games(args.games),
+        task_timeout_s=args.task_timeout,
+        retry_policy=RetryPolicy(max_retries=args.max_retries,
+                                 seed=args.seed),
+    )
+    if args.json:
+        import json
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return EXIT_OK if report.ok else EXIT_FINDINGS
+    for trial in report.trials:
+        status = "ok" if trial.ok else "DIVERGED"
+        extras = []
+        if trial.killed:
+            extras.append("killed+resumed")
+        if trial.fires:
+            extras.append(f"{trial.fires} parent fire(s)")
+        note = f" [{', '.join(extras)}]" if extras else ""
+        print(f"trial {trial.index:3d} seed={trial.seed:<10d} "
+              f"jobs={trial.jobs} {status:8s} {trial.plan}{note}")
+        for problem in trial.problems:
+            print(f"    {problem}", file=sys.stderr)
+    verdict = ("all trials converged to the uninjected reference"
+               if report.ok
+               else f"{len(report.failed_trials)} trial(s) diverged")
+    print(f"\nchaos: {len(report.trials)} trial(s), "
+          f"{report.reference_rows} reference row(s), "
+          f"{report.wall_time_s:.1f}s — {verdict}")
+    return EXIT_OK if report.ok else EXIT_FINDINGS
 
 
 def cmd_animate(args) -> int:
@@ -548,6 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the replay fan-out (default 1: "
              "serial; results are identical either way)",
     )
+    p_sweep.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline for parallel workers: a task past it is "
+             "killed and retried, then recorded as a failure (default: "
+             "no deadline)",
+    )
     _add_common(p_sweep)
 
     p_anim = sub.add_parser("animate", help="multi-frame warm-cache run")
@@ -619,6 +666,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_sanitize)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection campaign: inject, kill, resume, "
+             "and diff against an uninjected reference",
+    )
+    p_chaos.add_argument(
+        "--trials", type=int, default=20, metavar="N",
+        help="number of randomized trials (default 20)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="campaign seed; same seed, same plans, same verdict "
+             "(default 0)",
+    )
+    p_chaos.add_argument(
+        "-j", "--jobs", type=int, default=2, metavar="N",
+        help="max worker processes a trial may use; trials alternate "
+             "between serial and parallel (default 2)",
+    )
+    p_chaos.add_argument(
+        "--games", metavar="A,B,...",
+        help="game aliases for the trial sweeps (default: SWa only)",
+    )
+    p_chaos.add_argument(
+        "--task-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-task deadline used by the trial sweeps; injected "
+             "hangs sleep past it on purpose (default 5)",
+    )
+    p_chaos.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="transient-failure retries granted to trial sweeps "
+             "(default 2; 0 would make injected transients fatal)",
+    )
+    p_chaos.add_argument(
+        "--screen", type=_parse_screen, default=_parse_screen("128x64"),
+        metavar="WxH|paper",
+        help="simulated screen size for trials (default 128x64: chaos "
+             "exercises infrastructure, not the timing model)",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+
     p_sched = sub.add_parser("schedule", help="visualize a quad schedule")
     p_sched.add_argument("--grouping", default="CG-square",
                          choices=sorted(GROUPINGS))
@@ -646,6 +736,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": cmd_lint,
         "archcheck": cmd_archcheck,
         "sanitize": cmd_sanitize,
+        "chaos": cmd_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -15,12 +15,20 @@ The hierarchy::
     │   └── UnknownWorkloadError   a game alias that does not exist
     ├── AnalysisError          a metric cannot be computed from the
     │                          given results (empty/degenerate inputs)
-    ├── TraceIntegrityError    a checkpointed trace failed verification
+    ├── CheckpointError        a checkpoint-store operation failed; the
+    │   │                      sweep treats it as a cache miss (re-render)
+    │   └── TraceIntegrityError    a checkpointed trace failed verification
     ├── InvariantViolationError  a pipeline invariant broke mid-flight
     │                            (quad conservation, counter consistency,
     │                            barrier ordering — see the sanitizer)
+    ├── WorkerCrashError       a sweep worker process died (transient:
+    │                          the respawned pool may succeed)
+    ├── TaskTimeoutError       a sweep task blew its per-task deadline
+    │                          (transient: the retried task may finish)
     └── ReplayError            pass 2 cannot produce a result
-        └── BudgetExceededError    a replay blew its quad/cycle budget
+        ├── BudgetExceededError    a replay blew its quad/cycle budget
+        └── InjectedFaultError     a failure injected by an armed
+                                   FaultPlan (sim.faults; transient)
 
 For backwards compatibility with callers (and the existing test-suite)
 that predate the taxonomy, :class:`ConfigError` and
@@ -79,7 +87,15 @@ class AnalysisError(ReproError, ValueError):
     """A metric cannot be computed from the given results."""
 
 
-class TraceIntegrityError(ReproError):
+class CheckpointError(ReproError):
+    """A checkpoint-store operation failed (unreadable, corrupt, torn).
+
+    Consumers treat this as a *cache miss*: the checkpoint is discarded
+    and the underlying artifact is recomputed, never trusted.
+    """
+
+
+class TraceIntegrityError(CheckpointError):
     """A checkpointed frame trace failed hash or structural verification."""
 
 
@@ -108,6 +124,38 @@ class ReplayError(ReproError):
 
 class BudgetExceededError(ReplayError):
     """A replay exceeded its configured quad or cycle budget."""
+
+
+class InjectedFaultError(ReplayError):
+    """A failure injected by an armed :class:`~repro.sim.faults.FaultPlan`.
+
+    Transient by default: injected transients exist precisely to
+    exercise the retry machinery, so a retry must be allowed to heal
+    them.
+    """
+
+    transient = True
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died mid-task (``BrokenProcessPool``).
+
+    Transient: the pool is respawned and the task rescheduled; only
+    when the crash repeats past the attempt budget does this surface
+    as a :class:`~repro.sim.resilience.FailureRecord`.
+    """
+
+    transient = True
+
+
+class TaskTimeoutError(ReproError):
+    """A sweep task exceeded its per-task deadline (hung worker).
+
+    Transient: the hung worker is killed, the pool respawned and the
+    task retried before the failure is recorded.
+    """
+
+    transient = True
 
 
 def is_transient(error: BaseException) -> bool:

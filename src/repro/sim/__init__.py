@@ -16,6 +16,8 @@ from repro.sim.resilience import (
     RetryPolicy,
     RunManifest,
 )
+from repro.sim.faults import FaultPlan, FaultSpec, fault_point
+from repro.sim.chaos import ChaosReport, ChaosTrial, run_chaos
 
 __all__ = [
     "FrameRenderer", "FrameTrace", "RenderStats", "TileTraceEntry",
@@ -23,4 +25,6 @@ __all__ = [
     "ExperimentRunner", "SuiteResult",
     "TraceCheckpointStore", "trace_key", "verify_trace",
     "FailureRecord", "ReplayBudget", "RetryPolicy", "RunManifest",
+    "FaultPlan", "FaultSpec", "fault_point",
+    "ChaosReport", "ChaosTrial", "run_chaos",
 ]

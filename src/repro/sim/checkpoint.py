@@ -32,16 +32,51 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.config import GPUConfig
 from repro.errors import TraceIntegrityError
 from repro.sim.driver import FrameTrace
+from repro.sim.faults import (
+    InjectedKill,
+    KIND_CORRUPT,
+    KIND_PARTIAL_LINE,
+    KIND_TORN_WRITE,
+    KIND_TRUNCATE,
+    SITE_CHECKPOINT_LOAD,
+    SITE_CHECKPOINT_SAVE,
+    SITE_JOURNAL_RECORD,
+    fault_point,
+)
 from repro.workloads.recipe import SceneRecipe
 
 CHECKPOINT_VERSION = 1
 _HEADER_LIMIT = 4096  # sane upper bound on the header line
+
+
+def _truncate_file(path: Path, fraction: float) -> None:
+    """Cut ``path`` down to ``fraction`` of its size (torn-write sim)."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, int(size * fraction)))
+    except OSError:
+        pass  # a checkpoint that cannot be damaged cannot be injected
+
+
+def _flip_last_byte(path: Path) -> None:
+    """Invert the final byte of ``path`` (bit-level corruption sim)."""
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            byte = handle.read(1)
+            if byte:
+                handle.seek(-1, os.SEEK_END)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+    except OSError:
+        pass
 
 
 def _canonical_json(payload: Any) -> str:
@@ -163,15 +198,26 @@ class TraceCheckpointStore:
             except OSError:
                 pass
             raise
+        if fault_point(SITE_CHECKPOINT_SAVE, key=key) == KIND_TORN_WRITE:
+            # Simulated torn write: the rename survived but the tail of
+            # the payload never hit the platter.  load() must detect it.
+            _truncate_file(path, 0.5)
         return path
 
     def load(self, key: str) -> FrameTrace:
         """Load and fully verify the trace stored under ``key``.
 
-        Raises :class:`TraceIntegrityError` for anything short of a
-        byte-identical, structurally sound checkpoint.
+        Raises :class:`TraceIntegrityError` (a
+        :class:`~repro.errors.CheckpointError`) for anything short of a
+        byte-identical, structurally sound checkpoint; callers treat
+        that as a cache miss and re-render, never as a fatal error.
         """
         path = self.path_for(key)
+        fault = fault_point(SITE_CHECKPOINT_LOAD, key=key)
+        if fault == KIND_TRUNCATE:
+            _truncate_file(path, 0.5)
+        elif fault == KIND_CORRUPT:
+            _flip_last_byte(path)
         try:
             with open(path, "rb") as handle:
                 header_line = handle.readline(_HEADER_LIMIT)
@@ -238,26 +284,50 @@ class SweepProgress:
         self.campaign = campaign
 
     def completed_rows(self) -> Dict[str, Dict[str, Any]]:
-        """Design-point name -> recorded row dict, for this campaign."""
+        """Design-point name -> recorded row dict, for this campaign.
+
+        A crash mid-append (power cut, SIGKILL) legitimately leaves a
+        partial trailing line; it is dropped with a warning — the row
+        it would have recorded is simply recomputed.  A malformed line
+        *before* the end means something else scribbled on the journal;
+        it is skipped with a louder warning, but one bad line never
+        costs the rows around it.
+        """
         rows: Dict[str, Dict[str, Any]] = {}
         if not self.path.is_file():
             return rows
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if (
-                    isinstance(record, dict)
-                    and record.get("campaign") == self.campaign
-                    and isinstance(record.get("row"), dict)
-                    and isinstance(record.get("design"), str)
-                ):
-                    rows[record["design"]] = record["row"]
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    warnings.warn(
+                        f"dropping partial trailing line in sweep journal "
+                        f"{self.path} (crash mid-append?); its row will "
+                        f"be recomputed",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    warnings.warn(
+                        f"skipping malformed line {index + 1} in sweep "
+                        f"journal {self.path}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("campaign") == self.campaign
+                and isinstance(record.get("row"), dict)
+                and isinstance(record.get("design"), str)
+            ):
+                rows[record["design"]] = record["row"]
         return rows
 
     def record(self, design: str, row: Dict[str, Any]) -> None:
@@ -266,6 +336,17 @@ class SweepProgress:
             {"campaign": self.campaign, "design": design, "row": row},
             sort_keys=True,
         )
+        fault = fault_point(SITE_JOURNAL_RECORD)
+        if fault == KIND_PARTIAL_LINE:
+            # Die mid-append: flush a prefix with no newline, exactly
+            # the state a power cut leaves, then kill the campaign.
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise InjectedKill(
+                f"injected kill mid-append of row {design!r}"
+            )
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()

@@ -16,9 +16,10 @@ from typing import Dict, Iterable, List, Optional
 from repro.stats import geometric_mean
 from repro.config import GPUConfig, TEST_CONFIG
 from repro.core.dtexl import BASELINE, DTexLConfig
-from repro.errors import ReplayError, TraceIntegrityError
+from repro.errors import CheckpointError, ReplayError
 from repro.sim.checkpoint import TraceCheckpointStore, trace_key
 from repro.sim.driver import FrameRenderer, FrameTrace
+from repro.sim.faults import SITE_REPLAY, fault_point
 from repro.sim.replay import RunResult, TraceReplayer
 from repro.sim.resilience import (
     FailureRecord,
@@ -127,9 +128,11 @@ class ExperimentRunner:
     def trace_for(self, alias: str) -> FrameTrace:
         """Return one game's frame trace, rendering only when needed.
 
-        Lookup order: in-memory cache, then the checkpoint store (a
-        corrupted checkpoint is discarded and re-rendered), then a fresh
-        render whose result is checkpointed for the next run.
+        Lookup order: in-memory cache, then the checkpoint store (any
+        :class:`CheckpointError` — truncated, corrupt, unreadable — is
+        a cache miss: the checkpoint is discarded and re-rendered),
+        then a fresh render whose result is checkpointed for the next
+        run.
         """
         if alias in self._traces:
             return self._traces[alias]
@@ -139,7 +142,7 @@ class ExperimentRunner:
             if self.checkpoint_store.contains(key):
                 try:
                     trace = self.checkpoint_store.load(key)
-                except TraceIntegrityError:
+                except CheckpointError:
                     pass  # fall through and re-render the real thing
                 else:
                     self._traces[alias] = trace
@@ -181,8 +184,15 @@ class ExperimentRunner:
     # -- pass 2 -----------------------------------------------------------------
 
     def run(self, alias: str, design: DTexLConfig) -> RunResult:
-        """Replay one game under one design point."""
-        return self.replayer.run(self.trace_for(alias), design)
+        """Replay one game under one design point.
+
+        The fault point keys on ``design/game`` and matches the one the
+        sweep's parallel worker task evaluates, so serial and parallel
+        campaigns see the same injected failures.
+        """
+        trace = self.trace_for(alias)
+        fault_point(SITE_REPLAY, key=f"{design.name}/{alias}")
+        return self.replayer.run(trace, design)
 
     def run_suite(
         self,

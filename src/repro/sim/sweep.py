@@ -22,6 +22,14 @@ inherited in-memory cache, so forked workers never reload from disk);
 results are reassembled in grid-and-games order, so a parallel campaign
 produces bit-identical rows, failures and manifest contents to a serial
 one — only ``wall_time_s`` differs.
+
+The parallel pool is self-healing (:class:`_TaskPool`): a worker that
+dies (``BrokenProcessPool``) or hangs past the per-task deadline is
+respawned and its tasks rescheduled; only a task that keeps failing
+becomes a :class:`FailureRecord` row.  Rows are journaled as each
+design point assembles — before pool teardown — and every injection
+site of :mod:`repro.sim.faults` is threaded through this path, so the
+`repro chaos` campaign can prove the recovery machinery end to end.
 """
 
 from __future__ import annotations
@@ -33,13 +41,22 @@ import shutil
 import tempfile
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dtexl import DTexLConfig
-from repro.errors import ConfigError
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.sim import faults
+from repro.sim.driver import FrameRenderer
 from repro.sim.export import write_run_manifest
 from repro.sim.checkpoint import (
     SweepProgress,
@@ -59,6 +76,7 @@ from repro.sim.resilience import (
     run_guarded,
 )
 from repro.stats import per_tile_imbalance
+from repro.workloads.games import build_game
 
 #: Column order of sweep rows.
 ROW_FIELDS = [
@@ -82,12 +100,31 @@ MANIFEST_FILENAME = "manifest.json"
 _WORKER_TRACES: Dict[Tuple[str, str], object] = {}
 
 
-def _worker_trace(store_dir: str, key: str):
+def _worker_trace(store_dir: str, key: str, config=None, alias=None):
+    """Load one trace inside a worker, self-healing a broken store.
+
+    A :class:`CheckpointError` (truncated/corrupt/unreadable ``.trace``
+    file) is treated as a cache miss: when the worker knows the game it
+    re-renders pass 1 locally and re-saves the checkpoint for its
+    siblings, instead of failing the task.
+    """
     cache_key = (store_dir, key)
     trace = _WORKER_TRACES.get(cache_key)
-    if trace is None:
-        trace = TraceCheckpointStore(store_dir).load(key)
-        _WORKER_TRACES[cache_key] = trace
+    if trace is not None:
+        return trace
+    store = TraceCheckpointStore(store_dir)
+    try:
+        trace = store.load(key)
+    except CheckpointError:
+        if config is None or alias is None:
+            raise
+        workload = build_game(alias, config)
+        trace, _ = FrameRenderer(config).render(workload)
+        try:
+            store.save(key, trace)
+        except OSError:
+            pass  # the re-render is still good; siblings heal themselves
+    _WORKER_TRACES[cache_key] = trace
     return trace
 
 
@@ -103,6 +140,8 @@ def _replay_task(
     game: str,
     policy: Optional[RetryPolicy],
     guarded: bool,
+    plan: Optional[faults.FaultPlan] = None,
+    attempt: int = 1,
 ):
     """One (design point, game) replay inside a worker process.
 
@@ -111,19 +150,218 @@ def _replay_task(
     Guarded tasks return the same ``(result, failure)`` pair
     :func:`run_guarded` produces serially, so retry accounting and
     failure records match bit-for-bit.
+
+    ``plan`` re-arms the parent's fault plan inside the worker (fork
+    inheritance is not guaranteed under spawn, and a respawned pool
+    must re-arm anyway); ``attempt`` is the task's scheduling attempt,
+    so a respawned task draws a fresh — by default clean — injection
+    decision.
     """
-    trace = _worker_trace(store_dir, key)
-    replayer = TraceReplayer(
-        config, energy_params=energy_params, budget=budget, engine=engine
-    )
-    if not guarded:
-        return replayer.run(trace, design), None
-    return run_guarded(
-        lambda: replayer.run(trace, design),
-        design_point=design_name,
-        game=game,
-        policy=policy,
-    )
+    with faults.armed(plan):
+        faults.fault_point(
+            faults.SITE_WORKER, key=f"{design_name}/{game}", attempt=attempt
+        )
+        trace = _worker_trace(store_dir, key, config, game)
+        replayer = TraceReplayer(
+            config, energy_params=energy_params, budget=budget, engine=engine
+        )
+
+        def replay():
+            faults.fault_point(
+                faults.SITE_REPLAY, key=f"{design_name}/{game}"
+            )
+            return replayer.run(trace, design)
+
+        if not guarded:
+            return replay(), None
+        return run_guarded(
+            replay,
+            design_point=design_name,
+            game=game,
+            policy=policy,
+        )
+
+
+#: Sentinel design name keying the baseline's tasks in the pool (design
+#: point names always contain slashes, so this can never collide).
+_BASELINE_TASK = "__baseline__"
+
+#: Default scheduling attempts per task before a crash/hang is recorded.
+DEFAULT_MAX_TASK_ATTEMPTS = 3
+
+TaskId = Tuple[str, str]  # (design name or _BASELINE_TASK, game alias)
+
+
+class _TaskPool:
+    """A :class:`ProcessPoolExecutor` that survives its workers.
+
+    Plain executors make a single dead worker fatal: one ``os._exit``
+    (OOM kill, segfault, power event) raises ``BrokenProcessPool`` on
+    *every* outstanding future and the campaign aborts with all
+    completed-but-unconsumed work lost.  This wrapper owns the task
+    book-keeping needed to do better:
+
+    * every submitted task's arguments are retained, so after a pool
+      breakage the executor is respawned and unfinished work is
+      rescheduled instead of lost;
+    * ``result()`` enforces an optional per-task deadline — a hung
+      worker is killed (``SIGTERM`` to the pool), the pool respawned,
+      and the task retried;
+    * blame is assigned by *isolation*: a breakage (or deadline miss)
+      implicates every task that might have been running, so only the
+      task ``result()`` is waiting on is charged an attempt and
+      resubmitted — alone, to an otherwise idle pool — while the rest
+      park.  If the pool breaks again, the waited task is provably the
+      culprit; an innocent bystander whose neighbor kept crashing is
+      never failed on someone else's account.  Once the waited task
+      resolves (either way), parked tasks resume at full parallelism;
+    * a waited task that keeps crashing or hanging past
+      ``max_attempts`` gets a failed future carrying a typed,
+      *transient-flagged* error (:class:`WorkerCrashError` /
+      :class:`TaskTimeoutError`) the sweep converts into a
+      :class:`FailureRecord` row instead of an abort.
+
+    Completed futures are never thrown away: results consumed before a
+    crash stay consumed, which is what makes crash recovery invisible
+    in the final report.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        task_timeout_s: Optional[float],
+        max_attempts: int,
+        plan: Optional[faults.FaultPlan],
+    ):
+        self._jobs = jobs
+        self._timeout_s = task_timeout_s
+        self._max_attempts = max(1, max_attempts)
+        self._plan = plan
+        self._executor = ProcessPoolExecutor(max_workers=jobs)
+        self._args: Dict[TaskId, tuple] = {}
+        self._attempts: Dict[TaskId, int] = {}
+        self._futures: Dict[TaskId, Future] = {}
+        #: Tasks benched during an isolation run (insertion-ordered so
+        #: resubmission preserves the original scheduling order).
+        self._parked: Dict[TaskId, None] = {}
+
+    def submit(self, task_id: TaskId, args: tuple) -> None:
+        self._args[task_id] = args
+        self._attempts[task_id] = 1
+        self._futures[task_id] = self._submit(task_id, attempt=1)
+
+    def _submit(self, task_id: TaskId, attempt: int) -> Future:
+        return self._executor.submit(
+            _replay_task, *self._args[task_id],
+            plan=self._plan, attempt=attempt,
+        )
+
+    def attempts(self, task_id: TaskId) -> int:
+        """Scheduling attempts consumed by ``task_id`` so far."""
+        return self._attempts[task_id]
+
+    def result(self, task_id: TaskId):
+        """Blocking consume with crash/hang recovery.
+
+        Raises :class:`WorkerCrashError` / :class:`TaskTimeoutError`
+        only once the waited task has exhausted its attempts *in
+        isolation*; any other exception is the task's own and
+        propagates untouched.
+        """
+        try:
+            while True:
+                future = self._futures[task_id]
+                try:
+                    return future.result(timeout=self._timeout_s)
+                except BrokenProcessPool:
+                    self._recover(
+                        task_id,
+                        WorkerCrashError(
+                            f"worker process died while running "
+                            f"{task_id[0]} on {task_id[1]}"
+                        ),
+                        kill_workers=False,
+                    )
+                except FuturesTimeoutError:
+                    self._recover(
+                        task_id,
+                        TaskTimeoutError(
+                            f"task {task_id[0]} on {task_id[1]} exceeded "
+                            f"its {self._timeout_s:.6g} s deadline"
+                        ),
+                        kill_workers=True,
+                    )
+        finally:
+            self._unpark()
+
+    def _recover(
+        self, waited: TaskId, error: Exception, kill_workers: bool
+    ) -> None:
+        """Respawn the executor; isolate ``waited``, park everyone else.
+
+        A breakage implicates every task that might have been running,
+        so only ``waited`` — the one task whose outcome we need right
+        now — is charged an attempt and resubmitted to the fresh,
+        otherwise empty pool.  If the pool breaks again the culprit is
+        unambiguous.  Everything else (queued, cancelled, or lost
+        mid-flight) parks with its attempt count untouched and is
+        resubmitted once the isolation resolves.
+        """
+        broken = self._executor
+        if kill_workers:
+            # A deadline miss means a worker is wedged; shutdown alone
+            # would wait on it forever.
+            for process in list(getattr(broken, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except OSError:
+                    pass
+        broken.shutdown(wait=False, cancel_futures=True)
+        self._executor = ProcessPoolExecutor(max_workers=self._jobs)
+        for task_id, future in list(self._futures.items()):
+            if task_id == waited:
+                continue
+            if future.done() and not future.cancelled():
+                if not isinstance(future.exception(), BrokenProcessPool):
+                    continue  # a kept result (or the task's own error)
+            self._parked[task_id] = None
+        attempt = self._attempts[waited] + 1
+        if attempt > self._max_attempts:
+            # Out of attempts: pin the typed error on a dead future so
+            # result() surfaces it exactly once, in grid order.
+            failed: Future = Future()
+            failed.set_exception(error)
+            self._futures[waited] = failed
+        else:
+            self._attempts[waited] = attempt
+            self._futures[waited] = self._submit(waited, attempt)
+
+    def _unpark(self) -> None:
+        """Resubmit parked tasks once an isolation run resolves."""
+        for task_id in self._parked:
+            self._futures[task_id] = self._submit(
+                task_id, self._attempts[task_id]
+            )
+        self._parked.clear()
+
+    def close(self) -> None:
+        """Tear the pool down without letting a hung worker pin us.
+
+        Idle workers exit promptly after ``shutdown``; one still
+        wedged in an injected (or real) hang gets a bounded join and
+        then a terminate, so campaign teardown — including teardown on
+        the way out of a fatal kill — never outlasts the fault.
+        """
+        executor = self._executor
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                try:
+                    process.terminate()
+                except OSError:
+                    pass
 
 
 @dataclass
@@ -203,6 +441,8 @@ class DesignSweep:
         resume: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         jobs: int = 1,
+        task_timeout_s: Optional[float] = None,
+        max_task_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
     ) -> SweepReport:
         """Evaluate every point; rows are ordered as the grid iterates.
 
@@ -215,9 +455,24 @@ class DesignSweep:
         reused instead of recomputed.  ``jobs > 1`` fans the replays
         over worker processes; the report is bit-identical to a serial
         run except for ``wall_time_s``.
+
+        The parallel path is self-healing: a crashed worker
+        (``BrokenProcessPool``) respawns the pool and reschedules every
+        in-flight task, a task past ``task_timeout_s`` has its hung
+        worker killed and is retried, and a task that fails
+        ``max_task_attempts`` schedulings becomes a
+        :class:`FailureRecord` row (``WorkerCrashError`` /
+        ``TaskTimeoutError``) instead of aborting the campaign.  Rows
+        are journaled the moment they assemble — before pool teardown —
+        so even a campaign killed outright resumes without losing
+        completed work.
         """
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigError(
+                f"task_timeout_s must be positive, got {task_timeout_s}"
+            )
         start = time.monotonic()  # replint: disable=wall-clock -- campaign wall time for the manifest, never a simulated quantity
         progress: Optional[SweepProgress] = None
         if checkpoint_dir is not None:
@@ -244,7 +499,7 @@ class DesignSweep:
         else:
             self._run_parallel(
                 runner, retry_policy, completed, progress, report, manifest,
-                jobs,
+                jobs, task_timeout_s, max_task_attempts,
             )
 
         manifest.failures = list(report.failures)
@@ -286,99 +541,110 @@ class DesignSweep:
 
     def _run_parallel(
         self, runner, retry_policy, completed, progress, report, manifest,
-        jobs: int,
+        jobs: int, task_timeout_s: Optional[float], max_task_attempts: int,
     ) -> None:
-        """Fan (design point x game) over a process pool.
+        """Fan (design point x game) over a self-healing process pool.
 
         The parent renders (or loads) every trace once, persists them
-        into a checkpoint store the workers read, and reassembles
-        results strictly in grid-and-games order, so rows, failures,
-        journal entries and manifest lists come out exactly as the
-        serial walk produces them.  ``fail_fast`` is emulated at
-        assembly: only the first failing game of a design point (in
-        games order) is kept, matching the serial early exit.
+        into a checkpoint store the workers read, and consumes results
+        strictly in grid-and-games order, so rows, failures, journal
+        entries and manifest lists come out exactly as the serial walk
+        produces them.  ``fail_fast`` is emulated at assembly: only the
+        first failing game of a design point (in games order) is kept,
+        matching the serial early exit.
+
+        Each design point is assembled — and its row journaled — as
+        soon as its own tasks finish, while later tasks are still
+        running: a campaign killed (or a pool broken beyond repair)
+        mid-run keeps every completed row on disk.  Worker death and
+        deadline misses are absorbed by :class:`_TaskPool`; a task that
+        exhausts its attempts becomes a :class:`FailureRecord` exactly
+        like an in-process crash would.
         """
         pending = [
             design for design in self.design_points()
             if design.name not in completed
         ]
         base: Optional[SuiteResult] = None
-        suites: Dict[str, SuiteResult] = {}
-        if pending:
-            store = runner.checkpoint_store
-            temp_dir: Optional[str] = None
-            if store is None:
-                temp_dir = tempfile.mkdtemp(prefix="repro-sweep-traces-")
-                store = TraceCheckpointStore(temp_dir)
-            store_dir = str(store.directory)
-            seeded: List[Tuple[str, str]] = []
-            try:
+        pool: Optional[_TaskPool] = None
+        temp_dir: Optional[str] = None
+        seeded: List[Tuple[str, str]] = []
+        try:
+            if pending:
+                store = runner.checkpoint_store
+                if store is None:
+                    temp_dir = tempfile.mkdtemp(prefix="repro-sweep-traces-")
+                    store = TraceCheckpointStore(temp_dir)
+                store_dir = str(store.directory)
                 keys = runner.prepare_traces(store)
                 for alias, key in keys.items():
                     cache_key = (store_dir, key)
                     _WORKER_TRACES[cache_key] = runner.trace_for(alias)
                     seeded.append(cache_key)
                 replayer = runner.replayer
-                common = (
-                    runner.config,
-                    replayer.energy_model.params,
-                    replayer.budget,
-                    replayer.engine,
+                config = runner.config
+                params = replayer.energy_model.params
+                budget = replayer.budget
+                engine = replayer.engine
+                pool = _TaskPool(
+                    jobs, task_timeout_s, max_task_attempts,
+                    faults.active_plan(),
                 )
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-
-                    def submit(design, alias, guarded) -> Future:
-                        config, params, budget, engine = common
-                        return pool.submit(
-                            _replay_task,
-                            store_dir, keys[alias], config, design, params,
-                            budget, engine, design.name, alias, retry_policy,
-                            guarded,
-                        )
-
-                    base_futures = {
-                        alias: submit(self.baseline, alias, False)
-                        for alias in runner.games
-                    }
-                    design_futures = {
-                        (design.name, alias): submit(design, alias, True)
-                        for design in pending
-                        for alias in runner.games
-                    }
-                    # Baseline first, in games order: the first failing
-                    # game's exception propagates fatally, as serially.
-                    base = SuiteResult(design_point=self.baseline.name)
+                for alias in runner.games:
+                    pool.submit(
+                        (_BASELINE_TASK, alias),
+                        (store_dir, keys[alias], config, self.baseline,
+                         params, budget, engine, self.baseline.name, alias,
+                         retry_policy, False),
+                    )
+                for design in pending:
                     for alias in runner.games:
-                        run, _ = base_futures[alias].result()
-                        base.per_game[alias] = run
-                    for design in pending:
-                        suite = SuiteResult(design_point=design.name)
-                        for alias in runner.games:
-                            run, failure = design_futures[
-                                (design.name, alias)
-                            ].result()
-                            if failure is not None:
-                                suite.failures.append(failure)
-                                break  # fail_fast: keep only the first
-                            suite.per_game[alias] = run
-                        suites[design.name] = suite
-            finally:
-                for cache_key in seeded:
-                    _WORKER_TRACES.pop(cache_key, None)
-                if temp_dir is not None:
-                    shutil.rmtree(temp_dir, ignore_errors=True)
-
-        for design in self.design_points():
-            manifest.design_points_attempted.append(design.name)
-            if design.name in completed:
-                report.rows.append(SweepRow.from_dict(completed[design.name]))
-                report.resumed.append(design.name)
-                manifest.design_points_resumed.append(design.name)
-                continue
-            self._assemble(
-                design, suites[design.name], base, runner, retry_policy,
-                progress, report, manifest,
-            )
+                        pool.submit(
+                            (design.name, alias),
+                            (store_dir, keys[alias], config, design,
+                             params, budget, engine, design.name, alias,
+                             retry_policy, True),
+                        )
+                # Baseline first, in games order: the first failing
+                # game's exception propagates fatally, as serially —
+                # including a worker crash that outlived its retries.
+                base = SuiteResult(design_point=self.baseline.name)
+                for alias in runner.games:
+                    run, _ = pool.result((_BASELINE_TASK, alias))
+                    base.per_game[alias] = run
+            for design in self.design_points():
+                manifest.design_points_attempted.append(design.name)
+                if design.name in completed:
+                    report.rows.append(
+                        SweepRow.from_dict(completed[design.name])
+                    )
+                    report.resumed.append(design.name)
+                    manifest.design_points_resumed.append(design.name)
+                    continue
+                suite = SuiteResult(design_point=design.name)
+                for alias in runner.games:
+                    try:
+                        run, failure = pool.result((design.name, alias))
+                    except (WorkerCrashError, TaskTimeoutError) as error:
+                        failure = FailureRecord.of(
+                            error, design.name, alias,
+                            attempts=pool.attempts((design.name, alias)),
+                        )
+                    if failure is not None:
+                        suite.failures.append(failure)
+                        break  # fail_fast: keep only the first
+                    suite.per_game[alias] = run
+                self._assemble(
+                    design, suite, base, runner, retry_policy, progress,
+                    report, manifest,
+                )
+        finally:
+            if pool is not None:
+                pool.close()
+            for cache_key in seeded:
+                _WORKER_TRACES.pop(cache_key, None)
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
 
     def _assemble(
         self, design, suite, base, runner, retry_policy, progress, report,

@@ -120,6 +120,30 @@ class TestSweepAndAnimate:
         assert "warm-up ratio" in out
         assert "baseline" in out
 
+    def test_sweep_rejects_bad_task_timeout(self, capsys):
+        assert main(
+            ["sweep", "--screen", "128x64", "--games", "SWa",
+             "--grouping", "FG-xshift2", "--task-timeout", "0"]
+        ) == EXIT_FATAL
+        assert "task_timeout_s must be positive" in capsys.readouterr().err
+
+    def test_chaos_smoke(self, capsys):
+        assert main(
+            ["chaos", "--trials", "1", "--seed", "0", "--jobs", "1"]
+        ) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "trial   0" in out
+        assert "all trials converged" in out
+
+    def test_chaos_json(self, capsys):
+        assert main(
+            ["chaos", "--trials", "1", "--seed", "0", "--jobs", "1",
+             "--json"]
+        ) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["trials"]) == 1
+
 
 class TestFriendlyErrors:
     """Bad names and bad values exit nonzero with a message, no traceback."""

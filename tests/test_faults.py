@@ -1,0 +1,565 @@
+"""Tests for the fault-injection subsystem and the chaos machinery.
+
+One test (at least) per injection site kind, plus the resume-equality
+sweeps: kill the campaign at every journal row, resume it, and require
+the final report to be bit-identical to an uninjected reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    ConfigError,
+    InjectedFaultError,
+    TaskTimeoutError,
+    TraceIntegrityError,
+    WorkerCrashError,
+)
+from repro.sim import faults
+from repro.sim.checkpoint import SweepProgress, TraceCheckpointStore
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedKill,
+    deterministic_fraction,
+)
+from repro.sim.resilience import RetryPolicy, run_guarded
+from repro.sim.sweep import DesignSweep
+
+GAME = "SWa"
+
+#: The design point the targeted injections aim at (via ``match``); the
+#: baseline suite is unguarded, so untargeted p=1 faults would be fatal.
+TARGET = "CG-square/const/zorder/dec"
+
+
+def make_sweep() -> DesignSweep:
+    return DesignSweep(
+        groupings=("FG-xshift2", "CG-square"),
+        assignments=("const",),
+        orders=("zorder",),
+        decoupled=(False, True),
+    )
+
+
+def make_runner(tiny_config) -> ExperimentRunner:
+    return ExperimentRunner(tiny_config, games=[GAME])
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_config):
+    """The uninjected serial report every injected campaign must match."""
+    report = make_sweep().run(make_runner(tiny_config))
+    assert not report.failures
+    return report
+
+
+def assert_rows_match(report, reference) -> None:
+    assert [r.as_dict() for r in report.rows] == [
+        r.as_dict() for r in reference.rows
+    ]
+    assert not report.failures
+
+
+class TestDeterministicFraction:
+    def test_range_and_determinism(self):
+        draws = [deterministic_fraction(i, "site", "key") for i in range(50)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert draws == [
+            deterministic_fraction(i, "site", "key") for i in range(50)
+        ]
+
+    def test_distinct_parts_distinct_draws(self):
+        assert deterministic_fraction(1, "a") != deterministic_fraction(1, "b")
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="nowhere", kind=faults.KIND_KILL)
+
+    def test_kind_must_fit_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site=faults.SITE_CHECKPOINT_SAVE, kind=faults.KIND_HANG)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(
+                site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+                probability=1.5,
+            )
+
+    def test_attempt_window(self):
+        spec = FaultSpec(
+            site=faults.SITE_WORKER, kind=faults.KIND_EXIT,
+            first_attempt=2, fire_attempts=2,
+        )
+        assert [spec.window_contains(a) for a in (1, 2, 3, 4)] == [
+            False, True, True, False,
+        ]
+
+    def test_unbounded_window(self):
+        spec = FaultSpec(
+            site=faults.SITE_WORKER, kind=faults.KIND_EXIT,
+            fire_attempts=None,
+        )
+        assert spec.window_contains(1) and spec.window_contains(99)
+
+
+class TestArming:
+    def test_disarmed_fault_point_is_noop(self):
+        assert faults.active_plan() is None
+        assert faults.fault_point(faults.SITE_REPLAY, key="x") is None
+
+    def test_armed_context_restores_previous(self):
+        outer = FaultPlan(seed=1)
+        inner = FaultPlan(seed=2)
+        with faults.armed(outer):
+            with faults.armed(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        assert faults.active_plan() is None
+
+    def test_armed_none_is_noop(self):
+        with faults.armed(None):
+            assert faults.active_plan() is None
+
+
+class TestTrigger:
+    def plan(self, spec: FaultSpec, seed: int = 0) -> FaultPlan:
+        return FaultPlan(seed=seed, specs=(spec,))
+
+    def test_transient_raises_retryable(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+        ))
+        with pytest.raises(InjectedFaultError) as info:
+            plan.trigger(faults.SITE_REPLAY, key="d/g")
+        assert info.value.transient
+
+    def test_budget_blowout_raises(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_BUDGET,
+        ))
+        with pytest.raises(BudgetExceededError):
+            plan.trigger(faults.SITE_REPLAY, key="d/g")
+
+    def test_kill_is_not_an_exception(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_JOURNAL_RECORD, kind=faults.KIND_KILL,
+        ))
+        with pytest.raises(InjectedKill) as info:
+            plan.trigger(faults.SITE_JOURNAL_RECORD)
+        # A simulated SIGKILL must never be absorbable by `except
+        # Exception` boundaries.
+        assert not isinstance(info.value, Exception)
+
+    def test_data_kind_returned_and_recorded(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_CHECKPOINT_SAVE, kind=faults.KIND_TORN_WRITE,
+        ))
+        kind = plan.trigger(faults.SITE_CHECKPOINT_SAVE, key="k")
+        assert kind == faults.KIND_TORN_WRITE
+        assert [e.kind for e in plan.fired] == [faults.KIND_TORN_WRITE]
+
+    def test_window_limits_auto_attempts(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+        ))
+        with pytest.raises(InjectedFaultError):
+            plan.trigger(faults.SITE_REPLAY, key="d/g")
+        # Second call on the same key = attempt 2, outside the window.
+        assert plan.trigger(faults.SITE_REPLAY, key="d/g") is None
+
+    def test_match_filters_keys(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+            match="other",
+        ))
+        assert plan.trigger(faults.SITE_REPLAY, key="d/g") is None
+        assert not plan.fired
+
+    def test_zero_probability_never_fires(self):
+        plan = self.plan(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+            probability=0.0,
+        ))
+        for key in ("a", "b", "c"):
+            assert plan.trigger(faults.SITE_REPLAY, key=key) is None
+
+    def test_decisions_are_plan_deterministic(self):
+        spec = FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+            probability=0.5, fire_attempts=None,
+        )
+        outcomes = []
+        for _ in range(2):
+            plan = FaultPlan(seed=42, specs=(spec,))
+            fired = []
+            for key in map(str, range(20)):
+                try:
+                    plan.trigger(faults.SITE_REPLAY, key=key, attempt=1)
+                except InjectedFaultError:
+                    fired.append(key)
+            outcomes.append(fired)
+        assert outcomes[0] == outcomes[1]
+        assert 0 < len(outcomes[0]) < 20  # p=0.5 actually splits
+
+    def test_for_sites_filters_specs(self):
+        plan = FaultPlan(seed=3, specs=(
+            FaultSpec(site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT),
+            FaultSpec(
+                site=faults.SITE_CHECKPOINT_LOAD, kind=faults.KIND_TRUNCATE,
+            ),
+        ))
+        kept = plan.for_sites({faults.SITE_CHECKPOINT_LOAD})
+        assert [s.site for s in kept.specs] == [faults.SITE_CHECKPOINT_LOAD]
+        assert kept.seed == plan.seed
+
+
+class TestCheckpointFaults:
+    def test_torn_write_detected_on_load(self, tmp_path, tiny_trace):
+        store = TraceCheckpointStore(tmp_path)
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_CHECKPOINT_SAVE, kind=faults.KIND_TORN_WRITE,
+        ),))
+        with faults.armed(plan):
+            store.save("k", tiny_trace)
+        assert plan.fired
+        with pytest.raises(TraceIntegrityError):
+            store.load("k")
+
+    def test_truncated_load_raises_checkpoint_error(
+        self, tmp_path, tiny_trace
+    ):
+        store = TraceCheckpointStore(tmp_path)
+        store.save("k", tiny_trace)
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_CHECKPOINT_LOAD, kind=faults.KIND_TRUNCATE,
+        ),))
+        with faults.armed(plan), pytest.raises(CheckpointError):
+            store.load("k")
+
+    def test_corrupt_byte_fails_payload_hash(self, tmp_path, tiny_trace):
+        store = TraceCheckpointStore(tmp_path)
+        store.save("k", tiny_trace)
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_CHECKPOINT_LOAD, kind=faults.KIND_CORRUPT,
+        ),))
+        with faults.armed(plan), pytest.raises(
+            TraceIntegrityError, match="hash mismatch"
+        ):
+            store.load("k")
+
+    def test_corrupt_checkpoint_heals_by_rerender(self, tmp_path, tiny_config):
+        store = TraceCheckpointStore(tmp_path)
+        seeder = ExperimentRunner(
+            tiny_config, games=[GAME], checkpoint_store=store
+        )
+        seeder.trace_for(GAME)
+        assert seeder.renders_performed == 1
+
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_CHECKPOINT_LOAD, kind=faults.KIND_TRUNCATE,
+        ),))
+        healer = ExperimentRunner(
+            tiny_config, games=[GAME], checkpoint_store=store
+        )
+        with faults.armed(plan):
+            healer.trace_for(GAME)
+        assert healer.renders_performed == 1  # corrupt load = cache miss
+
+        # The heal re-checkpointed, so the next run loads cleanly again.
+        reader = ExperimentRunner(
+            tiny_config, games=[GAME], checkpoint_store=store
+        )
+        reader.trace_for(GAME)
+        assert reader.renders_performed == 0
+
+
+class TestJournalFaults:
+    ROW = {"speedup": 1.0}
+
+    def test_partial_trailing_line_dropped_with_warning(self, tmp_path):
+        progress = SweepProgress(tmp_path, campaign="c")
+        progress.record("d1", dict(self.ROW))
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_JOURNAL_RECORD, kind=faults.KIND_PARTIAL_LINE,
+        ),))
+        with faults.armed(plan), pytest.raises(InjectedKill):
+            progress.record("d2", dict(self.ROW))
+        text = progress.path.read_text(encoding="utf-8")
+        assert not text.endswith("\n")  # the crash left a torn tail
+        with pytest.warns(RuntimeWarning, match="partial trailing line"):
+            rows = progress.completed_rows()
+        assert rows == {"d1": self.ROW}
+
+    def test_kill_before_append_loses_only_that_row(self, tmp_path):
+        progress = SweepProgress(tmp_path, campaign="c")
+        progress.record("d1", dict(self.ROW))
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_JOURNAL_RECORD, kind=faults.KIND_KILL,
+        ),))
+        with faults.armed(plan), pytest.raises(InjectedKill):
+            progress.record("d2", dict(self.ROW))
+        assert progress.completed_rows() == {"d1": self.ROW}
+
+    def test_malformed_middle_line_skipped_with_warning(self, tmp_path):
+        progress = SweepProgress(tmp_path, campaign="c")
+        progress.record("d1", dict(self.ROW))
+        with open(progress.path, "a", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+        progress.record("d2", dict(self.ROW))
+        with pytest.warns(RuntimeWarning, match="malformed line 2"):
+            rows = progress.completed_rows()
+        assert set(rows) == {"d1", "d2"}
+
+
+class TestSerialInjection:
+    def test_transient_healed_by_retry(self, tiny_config, reference):
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+            match=TARGET,
+        ),))
+        with faults.armed(plan):
+            report = make_sweep().run(
+                make_runner(tiny_config),
+                retry_policy=RetryPolicy(max_retries=1),
+            )
+        assert [e.kind for e in plan.fired] == [faults.KIND_TRANSIENT]
+        assert_rows_match(report, reference)
+
+    def test_transient_without_retry_becomes_failure_row(
+        self, tiny_config, reference
+    ):
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_TRANSIENT,
+            match=TARGET,
+        ),))
+        with faults.armed(plan):
+            report = make_sweep().run(make_runner(tiny_config))
+        assert len(report.rows) == len(reference.rows) - 1
+        (failure,) = report.failures
+        assert failure.error_type == "InjectedFaultError"
+        assert failure.design_point == TARGET
+        assert failure.attempts == 1
+        assert report.outcome == "partial"
+
+    def test_budget_blowout_is_never_retried(self, tiny_config, reference):
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_REPLAY, kind=faults.KIND_BUDGET,
+            match=TARGET,
+        ),))
+        with faults.armed(plan):
+            report = make_sweep().run(
+                make_runner(tiny_config),
+                retry_policy=RetryPolicy(max_retries=3),
+            )
+        (failure,) = report.failures
+        assert failure.error_type == "BudgetExceededError"
+        assert failure.attempts == 1  # deterministic: one attempt only
+        assert len(report.rows) == len(reference.rows) - 1
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("row_index", [0, 1, 2, 3])
+    def test_kill_at_every_journal_row_resumes_identically(
+        self, tmp_path, tiny_config, reference, row_index
+    ):
+        """The flagship invariant: wherever the campaign dies, resuming
+        it reproduces the uninjected report exactly."""
+        work = tmp_path / f"kill-{row_index}"
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_JOURNAL_RECORD, kind=faults.KIND_KILL,
+            first_attempt=row_index + 1,
+        ),))
+        with faults.armed(plan), pytest.raises(InjectedKill):
+            make_sweep().run(make_runner(tiny_config), checkpoint_dir=work)
+        resumed = make_sweep().run(
+            make_runner(tiny_config), checkpoint_dir=work, resume=True
+        )
+        assert_rows_match(resumed, reference)
+        expected = [r for r in reference.manifest.design_points_succeeded]
+        assert resumed.resumed == expected[:row_index]
+
+    def test_kill_mid_append_resumes_identically(
+        self, tmp_path, tiny_config, reference
+    ):
+        work = tmp_path / "torn"
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_JOURNAL_RECORD, kind=faults.KIND_PARTIAL_LINE,
+            first_attempt=2,
+        ),))
+        with faults.armed(plan), pytest.raises(InjectedKill):
+            make_sweep().run(make_runner(tiny_config), checkpoint_dir=work)
+        with pytest.warns(RuntimeWarning, match="partial trailing line"):
+            resumed = make_sweep().run(
+                make_runner(tiny_config), checkpoint_dir=work, resume=True
+            )
+        assert_rows_match(resumed, reference)
+        assert len(resumed.resumed) == 1  # the torn second row recomputed
+
+    def test_parallel_kill_keeps_journaled_rows(
+        self, tmp_path, tiny_config, reference
+    ):
+        """Parallel rows are journaled as they assemble, so a campaign
+        killed mid-flight loses nothing that already completed."""
+        work = tmp_path / "parallel"
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_JOURNAL_RECORD, kind=faults.KIND_KILL,
+            first_attempt=2,
+        ),))
+        with faults.armed(plan), pytest.raises(InjectedKill):
+            make_sweep().run(
+                make_runner(tiny_config), checkpoint_dir=work, jobs=2
+            )
+        resumed = make_sweep().run(
+            make_runner(tiny_config), checkpoint_dir=work, resume=True,
+            jobs=2,
+        )
+        assert_rows_match(resumed, reference)
+        assert len(resumed.resumed) == 1
+
+
+class TestWorkerRecovery:
+    def test_worker_process_exit_heals(self, tiny_config, reference):
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_WORKER, kind=faults.KIND_EXIT, match=TARGET,
+        ),))
+        with faults.armed(plan):
+            report = make_sweep().run(make_runner(tiny_config), jobs=2)
+        assert_rows_match(report, reference)
+
+    def test_worker_hang_past_deadline_heals(self, tiny_config, reference):
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_WORKER, kind=faults.KIND_HANG, match=TARGET,
+            seconds=5.0,
+        ),))
+        with faults.armed(plan):
+            report = make_sweep().run(
+                make_runner(tiny_config), jobs=2, task_timeout_s=1.0
+            )
+        assert_rows_match(report, reference)
+
+    def test_persistent_crasher_becomes_failure_row(
+        self, tiny_config, reference
+    ):
+        plan = FaultPlan(specs=(FaultSpec(
+            site=faults.SITE_WORKER, kind=faults.KIND_EXIT, match=TARGET,
+            fire_attempts=None,
+        ),))
+        with faults.armed(plan):
+            report = make_sweep().run(
+                make_runner(tiny_config), jobs=2, max_task_attempts=2
+            )
+        (failure,) = report.failures
+        assert failure.error_type == "WorkerCrashError"
+        assert failure.design_point == TARGET
+        assert failure.attempts == 2
+        # The bystander design points are untouched by the crashes.
+        surviving = [
+            r.as_dict() for r in reference.rows
+            if not (r.grouping == "CG-square" and r.decoupled)
+        ]
+        assert [r.as_dict() for r in report.rows] == surviving
+
+
+class TestRetryBackoff:
+    def test_zero_base_means_immediate(self):
+        assert RetryPolicy(max_retries=2).delay_for(1, key="k") == 0.0
+
+    def test_exponential_capped_and_jittered(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_s=1.0, backoff_factor=2.0,
+            backoff_max_s=3.0, jitter=0.5, seed=1,
+        )
+        for attempt, ceiling in ((1, 1.0), (2, 2.0), (3, 3.0), (4, 3.0)):
+            delay = policy.delay_for(attempt, key="k")
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(backoff_base_s=1.0, seed=7)
+        assert policy.delay_for(2, key="a") == policy.delay_for(2, key="a")
+        assert policy.delay_for(2, key="a") != policy.delay_for(2, key="b")
+
+    def test_run_guarded_sleeps_the_policy_schedule(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(time, "sleep", slept.append)
+        policy = RetryPolicy(
+            max_retries=2, backoff_base_s=0.5, jitter=0.5, seed=3
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise InjectedFaultError("flaky", transient=True)
+            return "ok"
+
+        result, failure = run_guarded(
+            flaky, design_point="dp", game="g", policy=policy
+        )
+        assert (result, failure) == ("ok", None)
+        assert slept == [
+            policy.delay_for(1, key="dp/g"), policy.delay_for(2, key="dp/g"),
+        ]
+
+
+class TestChaosCampaign:
+    def test_small_campaign_converges(self, tiny_config):
+        from repro.sim.chaos import run_chaos
+
+        report = run_chaos(
+            trials=2, seed=5, jobs=2, config=tiny_config,
+            task_timeout_s=2.0,
+        )
+        assert report.ok, [t.as_dict() for t in report.failed_trials]
+        assert report.reference_rows == 4
+        assert len(report.trials) == 2
+
+    def test_campaign_is_seed_deterministic(self, tiny_config):
+        from repro.sim.chaos import run_chaos
+
+        def strip(payload):
+            payload.pop("wall_time_s")
+            for trial in payload["trials"]:
+                trial.pop("wall_time_s")
+            return payload
+
+        first = strip(run_chaos(
+            trials=2, seed=11, jobs=1, config=tiny_config
+        ).as_dict())
+        second = strip(run_chaos(
+            trials=2, seed=11, jobs=1, config=tiny_config
+        ).as_dict())
+        assert first == second
+
+    def test_sample_plan_deterministic_and_healable(self):
+        from repro.sim.chaos import sample_plan
+
+        plans = [sample_plan(9, jobs=2, hang_seconds=1.0) for _ in range(2)]
+        assert plans[0].describe() == plans[1].describe()
+        for spec in plans[0].specs:
+            assert spec.first_attempt == 1 and spec.fire_attempts == 1
+
+    def test_rejects_bad_arguments(self):
+        from repro.sim.chaos import run_chaos
+
+        with pytest.raises(ConfigError):
+            run_chaos(trials=0)
+        with pytest.raises(ConfigError):
+            run_chaos(jobs=0)
+
+
+class TestTimeoutErrorTyping:
+    def test_worker_errors_are_transient(self):
+        from repro.errors import is_transient
+
+        assert is_transient(WorkerCrashError("x"))
+        assert is_transient(TaskTimeoutError("x"))

@@ -47,12 +47,12 @@ class Baseline:
             raw = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as error:
             raise ConfigError(
-                f"cannot read archcheck baseline {path}: {error}"
-            ) from None
+                f"cannot read analysis baseline {path}: {error}"
+            ) from error
         entries_raw = raw.get("entries")
         if not isinstance(entries_raw, list):
             raise ConfigError(
-                f"archcheck baseline {path} must contain an 'entries' list"
+                f"analysis baseline {path} must contain an 'entries' list"
             )
         entries: Dict[str, str] = {}
         for row in entries_raw:

@@ -244,6 +244,11 @@ class CallGraph:
                     queue.append(resolved)
         return None
 
+    def resolve_call(self, fn: FunctionNode,
+                     call: ast.Call) -> Optional[str]:
+        """Public resolution entry point (used by the flow analyzer)."""
+        return self._resolve_call(fn, call)
+
     def _resolve_call(self, fn: FunctionNode,
                       call: ast.Call) -> Optional[str]:
         dotted = dotted_name(call.func)

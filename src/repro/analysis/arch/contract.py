@@ -79,7 +79,7 @@ class LayerContract:
         except tomllib.TOMLDecodeError as error:
             raise ConfigError(
                 f"cannot parse architecture contract {path}: {error}"
-            ) from None
+            ) from error
         return cls.from_dict(raw, path=path)
 
     @classmethod

@@ -1,0 +1,114 @@
+"""The faultcheck engine: run every flow pass, apply the baseline.
+
+Mirrors :class:`repro.analysis.arch.engine.ArchCheck`: one
+:meth:`FaultCheck.run` builds the module graph, recovers the exception
+taxonomy, extracts handler and flow facts, solves the interprocedural
+escape fixpoint, runs the six checks, and splits the findings against
+the shared ratcheted baseline — *new* findings gate (exit 1 in the
+CLI), *baselined* findings are reported but tolerated, *stale* entries
+are surfaced so waivers only ever shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.arch.baseline import Baseline
+from repro.analysis.arch.callgraph import CallGraph
+from repro.analysis.arch.modgraph import ModuleGraph
+from repro.analysis.checks_common import Finding, sort_findings
+from repro.analysis.flow.checks import (
+    FlowConfig,
+    check_cause_chains,
+    check_cli_exit_codes,
+    check_fault_sites,
+    check_retry_hygiene,
+    check_swallowed_base_exceptions,
+    check_worker_pickles,
+)
+from repro.analysis.flow.model import (
+    HandlerSite,
+    extract_flows,
+    extract_handlers,
+)
+from repro.analysis.flow.propagate import EscapeAnalysis
+from repro.analysis.flow.taxonomy import ExceptionTaxonomy
+
+
+@dataclass
+class FaultReport:
+    """Everything one faultcheck run produced."""
+
+    graph: ModuleGraph
+    taxonomy: ExceptionTaxonomy
+    escapes: EscapeAnalysis
+    #: findings NOT covered by the baseline — these gate.
+    findings: List[Finding] = field(default_factory=list)
+    #: findings covered by a justified baseline entry.
+    baselined: List[Finding] = field(default_factory=list)
+    #: baseline fingerprints that no longer match anything.
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def stats(self) -> Dict[str, int]:
+        """Headline numbers for reports."""
+        return {
+            "modules": len(self.graph.modules),
+            "exception_classes": len(self.taxonomy.classes),
+            "functions": len(self.escapes.flows),
+            "findings": len(self.findings),
+            "baselined": len(self.baselined),
+            "stale": len(self.stale),
+        }
+
+
+class FaultCheck:
+    """Whole-program exception-flow checks over one source root."""
+
+    def __init__(self, src_root: Path, package: str = "repro",
+                 config: Optional[FlowConfig] = None,
+                 baseline: Optional[Baseline] = None):
+        self.src_root = Path(src_root)
+        self.package = package
+        self.config = config if config is not None else FlowConfig()
+        self.baseline = baseline if baseline is not None else Baseline(
+            path=self.src_root / "faultcheck-baseline.json"
+        )
+
+    def run(self, update_baseline: bool = False) -> FaultReport:
+        graph = ModuleGraph.build(self.src_root, packages=[self.package])
+        taxonomy = ExceptionTaxonomy.build(graph)
+        callgraph = CallGraph(graph)
+        handlers: List[HandlerSite] = []
+        for info in graph.modules.values():
+            handlers.extend(extract_handlers(info, taxonomy))
+        flows = extract_flows(graph, callgraph, taxonomy)
+        escapes = EscapeAnalysis(flows, taxonomy)
+
+        raw: List[Finding] = list(graph.errors)
+        raw.extend(check_swallowed_base_exceptions(handlers, taxonomy))
+        raw.extend(check_cause_chains(graph))
+        raw.extend(check_retry_hygiene(handlers, taxonomy, self.config))
+        raw.extend(check_fault_sites(graph, self.config))
+        raw.extend(check_cli_exit_codes(
+            graph, callgraph, escapes, taxonomy, self.config
+        ))
+        raw.extend(check_worker_pickles(graph))
+        raw = sort_findings(raw)
+        if update_baseline:
+            self.baseline.write_updated(raw)
+        new, baselined, stale = self.baseline.partition(raw)
+        new.extend(self.baseline.unjustified())
+        return FaultReport(
+            graph=graph,
+            taxonomy=taxonomy,
+            escapes=escapes,
+            findings=sort_findings(new),
+            baselined=baselined,
+            stale=stale,
+        )

@@ -1,0 +1,312 @@
+"""Syntactic exception-flow facts, extracted once per module.
+
+The checks in :mod:`repro.analysis.flow.checks` and the propagation in
+:mod:`repro.analysis.flow.propagate` both consume the same two views
+built here:
+
+* :class:`HandlerSite` — every ``except`` clause in a module, with its
+  caught types resolved against the taxonomy, its bound name, whether
+  it re-raises, and whether it sits inside a loop (a *retry
+  candidate*);
+* :class:`FunctionFlow` — per indexed function, every ``raise`` site
+  and every resolved call site, each annotated with the *masks* of the
+  ``try`` bodies enclosing it (the sets of exception types the
+  surrounding handlers would stop).  Statements in a handler, ``else``
+  or ``finally`` block are deliberately *not* masked by that ``try`` —
+  Python does not protect them — and a handler that re-raises masks
+  nothing, since whatever it catches keeps flying.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.arch.callgraph import CallGraph
+from repro.analysis.arch.modgraph import ModuleGraph, ModuleInfo
+from repro.analysis.flow.taxonomy import ExceptionTaxonomy
+from repro.analysis.lint.rules import build_import_aliases, dotted_name
+
+#: Mask: resolved identities one enclosing ``try`` would stop.
+Mask = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One ``raise`` statement inside an indexed function."""
+
+    #: Resolved identity of the raised type; ``None`` when the raise
+    #: re-raises (bare ``raise`` / ``raise caught_name``) or names
+    #: something the taxonomy cannot identify.
+    identity: Optional[str]
+    line: int
+    masks: Tuple[Mask, ...]
+
+
+@dataclass(frozen=True)
+class FlowCallSite:
+    """One resolved intra-project call inside an indexed function."""
+
+    callee: str
+    line: int
+    masks: Tuple[Mask, ...]
+
+
+@dataclass
+class FunctionFlow:
+    """Raise and call sites of one function, ready for propagation."""
+
+    qualname: str
+    raises: List[RaiseSite] = field(default_factory=list)
+    calls: List[FlowCallSite] = field(default_factory=list)
+
+
+@dataclass
+class HandlerSite:
+    """One ``except`` clause, anywhere in a module."""
+
+    module: str
+    path: str
+    line: int
+    col: int
+    #: Resolved identities of the caught types (``None`` entries for
+    #: types the taxonomy cannot identify).
+    types: Tuple[Optional[str], ...]
+    #: The caught types as written in source, for messages.
+    spelled: Tuple[str, ...]
+    bare: bool                       #: ``except:`` with no type
+    name: Optional[str]              #: ``except E as name``
+    reraises: bool                   #: contains ``raise`` / ``raise name``
+    #: Whether the handler's ``try`` sits inside a ``while`` loop in
+    #: the same function — the precondition for the retry-hygiene
+    #: check (a ``for`` loop iterates distinct work, not re-attempts).
+    in_loop: bool
+    #: Whether the handler can send control back around that loop: it
+    #: contains a ``continue``, or its body can complete normally
+    #: (no terminal raise/return/break).
+    retries: bool
+    #: Enclosing function qualname, best effort ("" at module level).
+    function: str
+    node: ast.ExceptHandler
+
+
+def _resolve_exception_name(name: Optional[str], aliases: Dict[str, str],
+                            taxonomy: ExceptionTaxonomy,
+                            module: str) -> Optional[str]:
+    """Resolve a (possibly dotted) source name to a taxonomy identity."""
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expanded = aliases.get(head, head)
+    full = f"{expanded}.{rest}" if rest else expanded
+    resolved = taxonomy.resolve(full)
+    if resolved is not None:
+        return resolved
+    # A name defined in this very module resolves relative to it.
+    return taxonomy.resolve(f"{module}.{name}")
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> List[str]:
+    """The spelled type names of one ``except`` clause (tuple-aware)."""
+    if handler.type is None:
+        return []
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return [dotted_name(node) or "<dynamic>" for node in nodes]
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler lets what it caught keep flying."""
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:
+            return True
+        if (
+            handler.name is not None
+            and isinstance(node.exc, ast.Name)
+            and node.exc.id == handler.name
+        ):
+            return True
+    return False
+
+
+def _terminal(stmt: ast.stmt) -> bool:
+    """Whether ``stmt``, as a handler's last statement, exits the loop."""
+    return isinstance(stmt, (ast.Raise, ast.Return, ast.Break, ast.Continue))
+
+
+def _can_retry(handler: ast.ExceptHandler) -> bool:
+    """Whether control can re-enter the enclosing loop via this handler.
+
+    True when the handler contains a ``continue`` (outside any nested
+    loop of its own) or when its body's last statement is not a
+    raise/return/break — falling off the end of a handler inside a
+    loop is an implicit retry.
+    """
+    def has_continue(stmts: List[ast.stmt]) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Continue):
+                return True
+            if isinstance(stmt, (ast.For, ast.While,
+                                 ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # a nested loop/function owns its own continues
+            for name in ("body", "orelse", "finalbody"):
+                if has_continue(getattr(stmt, name, []) or []):
+                    return True
+            for sub in getattr(stmt, "handlers", []) or []:
+                if has_continue(sub.body):
+                    return True
+        return False
+
+    if has_continue(handler.body):
+        return True
+    last = handler.body[-1]
+    if isinstance(last, ast.Continue):
+        return True
+    return not _terminal(last)
+
+
+def extract_handlers(info: ModuleInfo,
+                     taxonomy: ExceptionTaxonomy) -> List[HandlerSite]:
+    """Every ``except`` clause of one module, innermost attribution."""
+    aliases = build_import_aliases(info.tree)
+    sites: List[HandlerSite] = []
+
+    def visit(node: ast.AST, function: str, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_function = function
+            child_in_loop = in_loop
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_function = (
+                    f"{function}.{child.name}" if function
+                    else f"{info.name}.{child.name}"
+                )
+                child_in_loop = False  # a new frame: loops don't carry in
+            elif isinstance(child, ast.ClassDef):
+                child_function = (
+                    f"{function}.{child.name}" if function
+                    else f"{info.name}.{child.name}"
+                )
+                child_in_loop = False
+            elif isinstance(child, ast.While):
+                child_in_loop = True
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                # A for loop iterates *distinct* work items; catching a
+                # failure there is isolation, not a retry of the same
+                # attempt.  Only while loops are retry candidates, and
+                # a nested for owns any continue inside it.
+                child_in_loop = False
+            elif isinstance(child, ast.Try):
+                for handler in child.handlers:
+                    spelled = tuple(_handler_type_names(handler))
+                    types = tuple(
+                        _resolve_exception_name(
+                            name if name != "<dynamic>" else None,
+                            aliases, taxonomy, info.name,
+                        )
+                        for name in spelled
+                    )
+                    sites.append(HandlerSite(
+                        module=info.name,
+                        path=str(info.path),
+                        line=handler.lineno,
+                        col=handler.col_offset,
+                        types=types,
+                        spelled=spelled,
+                        bare=handler.type is None,
+                        name=handler.name,
+                        reraises=_reraises(handler),
+                        in_loop=in_loop,
+                        retries=_can_retry(handler),
+                        function=function,
+                        node=handler,
+                    ))
+            visit(child, child_function, child_in_loop)
+
+    visit(info.tree, "", False)
+    return sites
+
+
+def extract_flows(graph: ModuleGraph, callgraph: CallGraph,
+                  taxonomy: ExceptionTaxonomy) -> Dict[str, FunctionFlow]:
+    """Build the propagation view for every indexed function."""
+    aliases = {
+        name: build_import_aliases(info.tree)
+        for name, info in graph.modules.items()
+    }
+    flows: Dict[str, FunctionFlow] = {}
+    for qual, fn in callgraph.functions.items():
+        flow = FunctionFlow(qualname=qual)
+        module_aliases = aliases.get(fn.module, {})
+
+        def mask_of(try_node: ast.Try) -> Mask:
+            caught: List[str] = []
+            for handler in try_node.handlers:
+                if handler.type is None:
+                    # A bare except that swallows stops everything the
+                    # domain tracks; one that re-raises masks nothing.
+                    if not _reraises(handler):
+                        caught.append("BaseException")
+                    continue
+                if _reraises(handler):
+                    continue
+                for name in _handler_type_names(handler):
+                    resolved = _resolve_exception_name(
+                        name if name != "<dynamic>" else None,
+                        module_aliases, taxonomy, fn.module,
+                    )
+                    if resolved is not None:
+                        caught.append(resolved)
+            return tuple(caught)
+
+        def handle(node: ast.AST, masks: Tuple[Mask, ...],
+                   handler_name: Optional[str]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                return  # nested frames are indexed on their own
+            if isinstance(node, ast.Raise):
+                identity: Optional[str] = None
+                if isinstance(node.exc, ast.Call):
+                    identity = _resolve_exception_name(
+                        dotted_name(node.exc.func),
+                        module_aliases, taxonomy, fn.module,
+                    )
+                elif isinstance(node.exc, ast.Name) and (
+                    node.exc.id != handler_name
+                ):
+                    identity = _resolve_exception_name(
+                        node.exc.id, module_aliases, taxonomy,
+                        fn.module,
+                    )
+                flow.raises.append(RaiseSite(
+                    identity=identity, line=node.lineno, masks=masks,
+                ))
+            if isinstance(node, ast.Call):
+                callee = callgraph.resolve_call(fn, node)
+                if callee is not None:
+                    flow.calls.append(FlowCallSite(
+                        callee=callee, line=node.lineno, masks=masks,
+                    ))
+            if isinstance(node, ast.Try):
+                body_masks = masks + (mask_of(node),)
+                for stmt in node.body:
+                    handle(stmt, body_masks, handler_name)
+                # handlers / else / finally run unprotected by this
+                # try; a handler's own raises see its bound name.
+                for handler in node.handlers:
+                    for stmt in handler.body:
+                        handle(stmt, masks, handler.name or handler_name)
+                for stmt in node.orelse + node.finalbody:
+                    handle(stmt, masks, handler_name)
+                return
+            for child in ast.iter_child_nodes(node):
+                handle(child, masks, handler_name)
+
+        for stmt in fn.node.body:
+            handle(stmt, (), None)
+        flows[qual] = flow
+    return flows

@@ -1,0 +1,253 @@
+"""The program's exception taxonomy, recovered from the AST.
+
+Every faultcheck pass needs to answer two questions about exception
+*types* without importing the code under analysis: does handler type
+``H`` catch raised type ``R``, and is ``R`` flagged transient for the
+retry machinery?  This module indexes every exception class defined in
+a :class:`~repro.analysis.arch.modgraph.ModuleGraph` (a class whose
+base chain reaches a builtin exception), resolves their bases through
+import aliases, and layers that hierarchy on top of a small table of
+builtin exception parents — enough to decide ``except ValueError``
+catches ``ConfigError`` and ``except Exception`` does *not* catch
+``InjectedKill``.
+
+Transiency mirrors :mod:`repro.errors`: a class-level ``transient =
+True`` assignment marks the class (and, by inheritance, its subclasses)
+as fair game for the retry policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.arch.modgraph import ModuleGraph
+from repro.analysis.lint.rules import build_import_aliases, dotted_name
+
+#: Parent of each builtin exception the simulator's code touches.  The
+#: table only needs the ancestors of types that appear in ``raise`` /
+#: ``except`` clauses; anything unknown is treated as unrelated, which
+#: errs toward reporting (an unmasked escape) rather than silence.
+BUILTIN_BASES: Dict[str, Optional[str]] = {
+    "BaseException": None,
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "OSError": "Exception",
+    "FileNotFoundError": "OSError",
+    "PermissionError": "OSError",
+    "TimeoutError": "OSError",
+    "OverflowError": "ArithmeticError",
+    "RecursionError": "RuntimeError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "StopIteration": "Exception",
+    "SyntaxError": "Exception",
+    "TypeError": "Exception",
+    "UnicodeDecodeError": "ValueError",
+    "UnicodeEncodeError": "ValueError",
+    "ValueError": "Exception",
+}
+
+
+@dataclass
+class ExceptionClass:
+    """One project-defined exception class."""
+
+    qualname: str              #: ``repro.errors.ConfigError``
+    module: str
+    line: int
+    #: Bases as resolved qualnames (project classes) or bare builtin
+    #: names (``ValueError``); unresolvable bases are dropped.
+    bases: List[str] = field(default_factory=list)
+    #: The class's own ``transient = ...`` assignment, if any.
+    transient_flag: Optional[bool] = None
+
+
+class ExceptionTaxonomy:
+    """Subclass and transiency queries over the program's exceptions."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ExceptionClass] = {}
+        #: bare class name -> qualnames defining it (for last-segment
+        #: matching when an import alias cannot be expanded).
+        self._by_name: Dict[str, List[str]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: ModuleGraph) -> "ExceptionTaxonomy":
+        """Index every exception class defined under ``graph``.
+
+        Two passes: collect every class with its alias-resolved bases,
+        then keep the subset whose base chain reaches a builtin
+        exception (through any number of project classes).
+        """
+        taxonomy = cls()
+        candidates: Dict[str, ExceptionClass] = {}
+        for info in graph.modules.values():
+            aliases = build_import_aliases(info.tree)
+            local_classes = {
+                node.name: f"{info.name}.{node.name}"
+                for node in info.tree.body if isinstance(node, ast.ClassDef)
+            }
+            for node in info.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases: List[str] = []
+                for base in node.bases:
+                    name = dotted_name(base)
+                    if name is None:
+                        continue
+                    if name in local_classes:
+                        bases.append(local_classes[name])
+                        continue
+                    head, _, rest = name.partition(".")
+                    expanded = aliases.get(head, head)
+                    full = f"{expanded}.{rest}" if rest else expanded
+                    bases.append(full)
+                candidates[f"{info.name}.{node.name}"] = ExceptionClass(
+                    qualname=f"{info.name}.{node.name}",
+                    module=info.name,
+                    line=node.lineno,
+                    bases=bases,
+                    transient_flag=_transient_flag(node),
+                )
+        for qual, record in candidates.items():
+            if taxonomy._reaches_builtin(qual, candidates, set()):
+                taxonomy.classes[qual] = record
+        for qual in taxonomy.classes:
+            taxonomy._by_name.setdefault(
+                qual.rsplit(".", 1)[1], []
+            ).append(qual)
+        return taxonomy
+
+    def _reaches_builtin(self, qual: str,
+                         candidates: Dict[str, ExceptionClass],
+                         seen: Set[str]) -> bool:
+        if qual in seen:
+            return False
+        seen.add(qual)
+        record = candidates.get(qual)
+        if record is None:
+            return qual in BUILTIN_BASES or qual.rsplit(".", 1)[-1] in (
+                BUILTIN_BASES
+            )
+        return any(
+            self._reaches_builtin(base, candidates, seen)
+            for base in record.bases
+        )
+
+    # -- name resolution ------------------------------------------------------
+
+    def resolve(self, name: Optional[str]) -> Optional[str]:
+        """Canonical identity of an exception named in source.
+
+        Project classes resolve to their qualname, builtins to their
+        bare name.  A dotted name whose exact qualname is unknown falls
+        back to its last segment when that names exactly one project
+        class (``faults.InjectedKill`` -> the one ``InjectedKill``).
+        Anything else is ``None`` — an exception faultcheck does not
+        reason about.
+        """
+        if name is None:
+            return None
+        if name in self.classes:
+            return name
+        tail = name.rsplit(".", 1)[-1]
+        if tail in BUILTIN_BASES and "." not in name:
+            return name
+        owners = self._by_name.get(tail, [])
+        if len(owners) == 1:
+            return owners[0]
+        if tail in BUILTIN_BASES:
+            return tail
+        return None
+
+    # -- hierarchy queries ----------------------------------------------------
+
+    def ancestors(self, identity: str) -> Set[str]:
+        """``identity`` plus every base reachable above it."""
+        out: Set[str] = set()
+        queue = [identity]
+        while queue:
+            current = queue.pop()
+            if current in out:
+                continue
+            out.add(current)
+            record = self.classes.get(current)
+            if record is not None:
+                queue.extend(record.bases)
+            else:
+                parent = BUILTIN_BASES.get(current.rsplit(".", 1)[-1])
+                if parent is not None:
+                    queue.append(parent)
+        return out
+
+    def catches(self, handler_type: str, raised_type: str) -> bool:
+        """Whether ``except handler_type`` stops ``raised_type``."""
+        return handler_type in self.ancestors(raised_type)
+
+    def is_exception_subclass(self, identity: str) -> bool:
+        """Derives from ``Exception`` (so a kill-proof boundary holds it)."""
+        return "Exception" in self.ancestors(identity)
+
+    def is_transient(self, identity: str) -> bool:
+        """Whether the retry policy may re-attempt ``identity``.
+
+        Breadth-first over the declared bases; the nearest explicit
+        ``transient = ...`` class attribute wins, mirroring Python
+        attribute lookup on the real hierarchy.
+        """
+        queue = [identity]
+        seen: Set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self.classes.get(current)
+            if record is None:
+                continue
+            if record.transient_flag is not None:
+                return record.transient_flag
+            queue.extend(record.bases)
+        return False
+
+    def project_exceptions(self) -> Set[str]:
+        """Every indexed project-defined exception qualname."""
+        return set(self.classes)
+
+
+def _transient_flag(node: ast.ClassDef) -> Optional[bool]:
+    """The class-level ``transient = True/False`` assignment, if any."""
+    for item in node.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(item, ast.Assign) and len(item.targets) == 1:
+            target, value = item.targets[0], item.value
+        elif isinstance(item, ast.AnnAssign):
+            target, value = item.target, item.value
+        if (
+            isinstance(target, ast.Name) and target.id == "transient"
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, bool)
+        ):
+            return value.value
+    return None

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro schedule [--grouping ...] # visualize a schedule as ASCII
     python -m repro lint [PATHS ...]          # replint static checks
     python -m repro archcheck [--dot out.dot] # whole-program arch checks
+    python -m repro faultcheck [--json ...]   # exception-flow analysis
+    python -m repro check                     # lint + archcheck + faultcheck
     python -m repro sanitize GAME [-d NAME]   # runtime invariant sanitizer
     python -m repro chaos [--trials N]        # fault-injection campaign
 
@@ -60,7 +62,7 @@ def _parse_screen(value: str) -> GPUConfig:
         raise argparse.ArgumentTypeError(
             f"invalid screen size {value!r} ({error}); "
             "expected WIDTHxHEIGHT or 'paper'"
-        ) from None
+        ) from error
 
 
 def _games(value: Optional[str]) -> Optional[List[str]]:
@@ -451,6 +453,74 @@ def cmd_archcheck(args) -> int:
     return EXIT_FINDINGS if report.findings else EXIT_OK
 
 
+def cmd_faultcheck(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.arch import Baseline
+    from repro.analysis.checks_common import format_json, format_text
+    from repro.analysis.flow import FaultCheck
+
+    baseline = Baseline.load(Path(args.baseline))
+    check = FaultCheck(
+        Path(args.src), package=args.package, baseline=baseline
+    )
+    report = check.run(update_baseline=args.update_baseline)
+    stats = report.stats()
+    summary = {
+        "stats": stats,
+        "baselined": [f.as_dict() for f in report.baselined],
+        "stale_baseline": report.stale,
+    }
+    rendered_json = format_json(
+        report.findings, tool="faultcheck", **summary
+    )
+    if args.report:
+        # Machine-readable copy for CI artifacts, independent of the
+        # console format.
+        Path(args.report).write_text(rendered_json + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print(format_text(report.findings, tool="faultcheck"))
+        print(f"flow: {stats['modules']} modules, "
+              f"{stats['exception_classes']} exception classes, "
+              f"{stats['functions']} functions analyzed")
+        if report.baselined:
+            print(f"baselined: {len(report.baselined)} pre-existing "
+                  f"finding(s) waived by {args.baseline}")
+        for fingerprint in report.stale:
+            print(f"stale baseline entry (violation fixed? delete it): "
+                  f"{fingerprint}")
+        if args.update_baseline:
+            print(f"baseline rewritten: {args.baseline}")
+    return EXIT_FINDINGS if report.findings else EXIT_OK
+
+
+def cmd_check(args) -> int:
+    """Umbrella gate: lint + archcheck + faultcheck, one exit code."""
+    outcomes = []
+    print("== lint ==")
+    outcomes.append(cmd_lint(argparse.Namespace(
+        paths=[args.src], format=args.format, select=None,
+    )))
+    print("\n== archcheck ==")
+    outcomes.append(cmd_archcheck(argparse.Namespace(
+        src=args.src, contract=args.contract,
+        baseline=args.arch_baseline, format=args.format,
+        dot=None, graph_json=None, update_baseline=False,
+    )))
+    print("\n== faultcheck ==")
+    outcomes.append(cmd_faultcheck(argparse.Namespace(
+        src=args.src, package=args.package,
+        baseline=args.fault_baseline, format=args.format,
+        update_baseline=False, report=args.report,
+    )))
+    failed = [code for code in outcomes if code != EXIT_OK]
+    print(f"\ncheck: {len(outcomes) - len(failed)}/{len(outcomes)} "
+          "gates clean")
+    return EXIT_FINDINGS if failed else EXIT_OK
+
+
 def cmd_sanitize(args) -> int:
     from repro.analysis.lint import TraceSanitizer, trace_digest
 
@@ -656,6 +726,73 @@ def build_parser() -> argparse.ArgumentParser:
              "a TODO justification that still fails the gate)",
     )
 
+    p_fault = sub.add_parser(
+        "faultcheck",
+        help="whole-program exception-flow and fault-path checks",
+    )
+    p_fault.add_argument(
+        "--src", default="src", metavar="DIR",
+        help="source root to analyze (default: src)",
+    )
+    p_fault.add_argument(
+        "--package", default="repro", metavar="NAME",
+        help="top-level package under --src (default: repro)",
+    )
+    p_fault.add_argument(
+        "--baseline", default="faultcheck-baseline.json", metavar="FILE",
+        help="justified-waiver baseline "
+             "(default: faultcheck-baseline.json)",
+    )
+    p_fault.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is what CI gates on)",
+    )
+    p_fault.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON report here (for CI artifacts)",
+    )
+    p_fault.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to current findings (new entries get "
+             "a TODO justification that still fails the gate)",
+    )
+
+    p_check = sub.add_parser(
+        "check",
+        help="umbrella gate: lint + archcheck + faultcheck in one run",
+    )
+    p_check.add_argument(
+        "--src", default="src", metavar="DIR",
+        help="source root to analyze (default: src)",
+    )
+    p_check.add_argument(
+        "--package", default="repro", metavar="NAME",
+        help="top-level package under --src (default: repro)",
+    )
+    p_check.add_argument(
+        "--contract", default="archcontract.toml", metavar="FILE",
+        help="layer contract file (default: archcontract.toml)",
+    )
+    p_check.add_argument(
+        "--arch-baseline", default="archcheck-baseline.json",
+        metavar="FILE",
+        help="archcheck waiver baseline (default: archcheck-baseline.json)",
+    )
+    p_check.add_argument(
+        "--fault-baseline", default="faultcheck-baseline.json",
+        metavar="FILE",
+        help="faultcheck waiver baseline "
+             "(default: faultcheck-baseline.json)",
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format for every gate",
+    )
+    p_check.add_argument(
+        "--report", metavar="FILE",
+        help="also write the faultcheck JSON report here",
+    )
+
     p_sanitize = sub.add_parser(
         "sanitize", help="replay a game and check pipeline invariants"
     )
@@ -735,6 +872,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schedule": cmd_schedule,
         "lint": cmd_lint,
         "archcheck": cmd_archcheck,
+        "faultcheck": cmd_faultcheck,
+        "check": cmd_check,
         "sanitize": cmd_sanitize,
         "chaos": cmd_chaos,
     }

@@ -15,6 +15,20 @@ from repro.sim.driver import FrameRenderer, FrameTrace
 from repro.workloads.games import build_game
 from repro.workloads.recipe import SceneRecipe
 
+try:
+    from hypothesis import settings
+
+    # One pinned, derandomized profile so property tests explore the
+    # same cases on every machine and every CI run — a flaky shrink is
+    # a repro, not a lottery ticket.  deadline=None because the shared
+    # CI runners stall unpredictably, not because the code may dawdle.
+    settings.register_profile(
+        "repro-deterministic", derandomize=True, deadline=None,
+    )
+    settings.load_profile("repro-deterministic")
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+
 
 @pytest.fixture(autouse=True)
 def sanitize_every_replay(monkeypatch):

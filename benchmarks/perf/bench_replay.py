@@ -20,6 +20,9 @@ Environment knobs (matching the figure benches):
 * ``REPRO_BENCH_REPEATS`` — timing repeats, best-of (default 3).
 * ``REPRO_BENCH_JOBS``    — worker count for the parallel sweep leg
   (default 2).
+* ``REPRO_BENCH_REGRESSION_FACTOR`` — regression tolerance for
+  ``--check`` (default 2.0; raise it on noisy runners instead of
+  deleting the gate).
 
 ``--check BASELINE.json`` compares the measured fast-engine throughput
 against a committed baseline and exits non-zero on a more-than-2x
@@ -32,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import shutil
 import sys
 import tempfile
@@ -42,7 +46,11 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT_NAME = "BENCH_replay.json"
 
 #: A measured throughput below baseline * (1 / REGRESSION_FACTOR) fails.
-REGRESSION_FACTOR = 2.0
+#: Overridable per runner so a flaky CI host widens the gate instead of
+#: switching it off.
+REGRESSION_FACTOR = float(
+    os.environ.get("REPRO_BENCH_REGRESSION_FACTOR", "2.0")
+)
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
@@ -164,6 +172,14 @@ def run_bench() -> dict:
         "scale": f"{config.screen_width}x{config.screen_height}",
         "games": list(games),
         "repeats": repeats,
+        # Numbers are only comparable on the same interpreter and host
+        # class; stamp both so a diff of two BENCH files self-explains.
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
         "render_seconds": round(render_s, 4),
         "replays_timed": replays,
         "total_quads": total_quads,

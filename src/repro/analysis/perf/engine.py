@@ -1,0 +1,127 @@
+"""The perfcheck engine: compute the hot region, run every rule.
+
+Mirrors :class:`repro.analysis.flow.engine.FaultCheck`: one
+:meth:`PerfCheck.run` builds the module graph, resolves the call
+graph, walks the hot region from the contract's entry points, runs the
+drift / loop-depth / hot-loop / purity rules (plus the optional
+benchmark-profile cross-check), and splits the findings against the
+shared ratcheted baseline — *new* findings gate (exit 1 in the CLI),
+*baselined* findings are reported but tolerated, *stale* entries are
+surfaced so waivers only ever shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.arch.baseline import Baseline
+from repro.analysis.arch.callgraph import CallGraph
+from repro.analysis.arch.modgraph import ModuleGraph
+from repro.analysis.checks_common import Finding, sort_findings
+from repro.analysis.perf.checks import (
+    check_contract_drift,
+    check_engine_purity,
+    check_hot_loops,
+    check_loop_depth,
+    check_profile,
+)
+from repro.analysis.perf.contract import PerfContract
+from repro.analysis.perf.hotpath import HotRegion, compute_hot_region
+from repro.errors import ConfigError
+
+
+@dataclass
+class PerfReport:
+    """Everything one perfcheck run produced."""
+
+    graph: ModuleGraph
+    callgraph: CallGraph
+    contract: PerfContract
+    region: HotRegion
+    #: findings NOT covered by the baseline — these gate.
+    findings: List[Finding] = field(default_factory=list)
+    #: findings covered by a justified baseline entry.
+    baselined: List[Finding] = field(default_factory=list)
+    #: baseline fingerprints that no longer match anything.
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def stats(self) -> Dict[str, int]:
+        """Headline numbers for reports."""
+        return {
+            "modules": len(self.graph.modules),
+            "hot_functions": len(self.region.chains),
+            "entrypoints": len(self.region.entries),
+            "findings": len(self.findings),
+            "baselined": len(self.baselined),
+            "stale": len(self.stale),
+        }
+
+
+class PerfCheck:
+    """Whole-program hot-path checks over one source root."""
+
+    def __init__(self, contract: PerfContract, src_root: Path,
+                 baseline: Optional[Baseline] = None,
+                 profile_path: Optional[Path] = None):
+        self.contract = contract
+        self.src_root = Path(src_root)
+        self.baseline = baseline if baseline is not None else Baseline(
+            path=self.src_root / "perfcheck-baseline.json"
+        )
+        self.profile_path = profile_path
+
+    def _load_profile(self) -> dict:
+        path = Path(self.profile_path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigError(
+                f"cannot read benchmark profile {path}: {error}"
+            ) from error
+        if not isinstance(raw, dict):
+            raise ConfigError(
+                f"benchmark profile {path} must be a JSON object"
+            )
+        return raw
+
+    def run(self, update_baseline: bool = False) -> PerfReport:
+        graph = ModuleGraph.build(
+            self.src_root, packages=[self.contract.package]
+        )
+        callgraph = CallGraph(graph)
+        region = compute_hot_region(
+            callgraph,
+            [entry.function for entry in self.contract.entries],
+            exclude=self.contract.exclude,
+        )
+        raw: List[Finding] = list(graph.errors)
+        raw.extend(check_contract_drift(callgraph, self.contract))
+        raw.extend(check_loop_depth(callgraph, self.contract))
+        raw.extend(check_hot_loops(callgraph, region))
+        raw.extend(check_engine_purity(callgraph, self.contract))
+        if self.profile_path is not None:
+            raw.extend(check_profile(
+                self.contract, self._load_profile(),
+                str(self.profile_path),
+            ))
+        raw = sort_findings(raw)
+        if update_baseline:
+            self.baseline.write_updated(raw)
+        new, baselined, stale = self.baseline.partition(raw)
+        new.extend(self.baseline.unjustified())
+        return PerfReport(
+            graph=graph,
+            callgraph=callgraph,
+            contract=self.contract,
+            region=region,
+            findings=sort_findings(new),
+            baselined=baselined,
+            stale=stale,
+        )

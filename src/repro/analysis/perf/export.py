@@ -1,0 +1,67 @@
+"""Hot-region export: a DOT graph of what the entry points reach.
+
+One node per hot function, clustered by module, entry points drawn
+double-bordered and excluded-but-referenced functions dashed grey —
+so a reviewer can see at a glance which code inherits the hot-loop
+rules and where the region was deliberately pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.arch.callgraph import CallGraph
+from repro.analysis.perf.hotpath import HotRegion
+
+
+def _short(qualname: str, package: str) -> str:
+    prefix = package + "."
+    return qualname[len(prefix):] if qualname.startswith(prefix) else qualname
+
+
+def hot_region_to_dot(callgraph: CallGraph, region: HotRegion,
+                      package: str = "repro") -> str:
+    """The hot region as a Graphviz digraph."""
+    members = set(region.chains)
+    entries = set(region.entries)
+    excluded = set(region.excluded)
+    edges: Set[Tuple[str, str]] = set()
+    for qualname in sorted(members):
+        for callee in sorted(callgraph.functions[qualname].calls):
+            if callee in members or callee in excluded:
+                edges.add((qualname, callee))
+    by_module: Dict[str, List[str]] = {}
+    for qualname in sorted(members):
+        by_module.setdefault(
+            callgraph.functions[qualname].module, []
+        ).append(qualname)
+    lines: List[str] = [
+        "digraph hotregion {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+    ]
+    for i, module in enumerate(sorted(by_module)):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{module}";')
+        lines.append('    color="grey60";')
+        for qualname in by_module[module]:
+            attrs = [f'label="{_short(qualname, package)}"']
+            if qualname in entries:
+                attrs.append("peripheries=2")
+                attrs.append('style="bold"')
+            lines.append(f'    "{qualname}" [{", ".join(attrs)}];')
+        lines.append("  }")
+    for qualname in sorted(excluded):
+        lines.append(
+            f'  "{qualname}" [label="{_short(qualname, package)}", '
+            'style="dashed", color="grey50", fontcolor="grey50"];'
+        )
+    for src, dst in sorted(edges):
+        attrs = []
+        if dst in excluded:
+            attrs.append('style="dashed"')
+            attrs.append('color="grey50"')
+        suffix = f' [{", ".join(attrs)}]' if attrs else ""
+        lines.append(f'  "{src}" -> "{dst}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

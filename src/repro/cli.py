@@ -12,7 +12,8 @@ Subcommands::
     python -m repro lint [PATHS ...]          # replint static checks
     python -m repro archcheck [--dot out.dot] # whole-program arch checks
     python -m repro faultcheck [--json ...]   # exception-flow analysis
-    python -m repro check                     # lint + archcheck + faultcheck
+    python -m repro perfcheck [--dot out.dot] # hot-path performance checks
+    python -m repro check                     # all four analyzers, concurrently
     python -m repro sanitize GAME [-d NAME]   # runtime invariant sanitizer
     python -m repro chaos [--trials N]        # fault-injection campaign
 
@@ -496,27 +497,145 @@ def cmd_faultcheck(args) -> int:
     return EXIT_FINDINGS if report.findings else EXIT_OK
 
 
+def cmd_perfcheck(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.arch import Baseline
+    from repro.analysis.checks_common import format_json, format_text
+    from repro.analysis.perf import (
+        PerfCheck,
+        PerfContract,
+        hot_region_to_dot,
+    )
+
+    contract = PerfContract.load(Path(args.contract))
+    baseline = Baseline.load(Path(args.baseline))
+    check = PerfCheck(
+        contract, Path(args.src), baseline=baseline,
+        profile_path=Path(args.profile_json) if args.profile_json else None,
+    )
+    report = check.run(update_baseline=args.update_baseline)
+    if args.dot:
+        dot = hot_region_to_dot(
+            report.callgraph, report.region, package=contract.package
+        )
+        if args.dot == "-":
+            print(dot, end="")
+        else:
+            Path(args.dot).write_text(dot, encoding="utf-8")
+    stats = report.stats()
+    summary = {
+        "stats": stats,
+        "hot_region": report.region.members(),
+        "baselined": [f.as_dict() for f in report.baselined],
+        "stale_baseline": report.stale,
+    }
+    rendered_json = format_json(
+        report.findings, tool="perfcheck", **summary
+    )
+    if args.report:
+        # Machine-readable copy for CI artifacts, independent of the
+        # console format.
+        Path(args.report).write_text(rendered_json + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print(format_text(report.findings, tool="perfcheck"))
+        print(f"hot region: {stats['hot_functions']} functions reachable "
+              f"from {stats['entrypoints']} entry points")
+        if report.baselined:
+            print(f"baselined: {len(report.baselined)} pre-existing "
+                  f"finding(s) waived by {args.baseline}")
+        for fingerprint in report.stale:
+            print(f"stale baseline entry (violation fixed? delete it): "
+                  f"{fingerprint}")
+        if args.update_baseline:
+            print(f"baseline rewritten: {args.baseline}")
+    return EXIT_FINDINGS if report.findings else EXIT_OK
+
+
+def _run_check_gate(name: str, options: dict) -> tuple:
+    """Run one analyzer gate, capturing its console output.
+
+    Module-level with picklable arguments so ``repro check`` can fan
+    the gates out to a process pool (faultcheck's worker-pickling rule
+    holds the umbrella to the same standard as the sweeps).
+    """
+    import contextlib
+    import io
+
+    handlers = {
+        "lint": cmd_lint,
+        "archcheck": cmd_archcheck,
+        "faultcheck": cmd_faultcheck,
+        "perfcheck": cmd_perfcheck,
+    }
+    buffer = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(buffer):
+            code = handlers[name](argparse.Namespace(**options))
+    except ReproError as error:
+        # A broken contract or baseline fails its own gate, not the
+        # whole umbrella run.
+        buffer.write(f"error: {error}\n")
+        code = EXIT_FATAL
+    return name, code, buffer.getvalue()
+
+
 def cmd_check(args) -> int:
-    """Umbrella gate: lint + archcheck + faultcheck, one exit code."""
-    outcomes = []
-    print("== lint ==")
-    outcomes.append(cmd_lint(argparse.Namespace(
-        paths=[args.src], format=args.format, select=None,
-    )))
-    print("\n== archcheck ==")
-    outcomes.append(cmd_archcheck(argparse.Namespace(
-        src=args.src, contract=args.contract,
-        baseline=args.arch_baseline, format=args.format,
-        dot=None, graph_json=None, update_baseline=False,
-    )))
-    print("\n== faultcheck ==")
-    outcomes.append(cmd_faultcheck(argparse.Namespace(
-        src=args.src, package=args.package,
-        baseline=args.fault_baseline, format=args.format,
-        update_baseline=False, report=args.report,
-    )))
-    failed = [code for code in outcomes if code != EXIT_OK]
-    print(f"\ncheck: {len(outcomes) - len(failed)}/{len(outcomes)} "
+    """Umbrella gate: all four analyzers, one exit code.
+
+    The gates run concurrently in worker processes — wall clock is the
+    slowest analyzer, not the sum — and their captured output is
+    printed serially, in declared order, with a per-gate exit status.
+    """
+    gates = [
+        ("lint", {
+            "paths": [args.src], "format": args.format, "select": None,
+        }),
+        ("archcheck", {
+            "src": args.src, "contract": args.contract,
+            "baseline": args.arch_baseline, "format": args.format,
+            "dot": None, "graph_json": None, "update_baseline": False,
+        }),
+        ("faultcheck", {
+            "src": args.src, "package": args.package,
+            "baseline": args.fault_baseline, "format": args.format,
+            "update_baseline": False, "report": args.report,
+        }),
+        ("perfcheck", {
+            "src": args.src, "contract": args.perf_contract,
+            "baseline": args.perf_baseline, "format": args.format,
+            "dot": None, "report": args.perf_report, "profile_json": None,
+            "update_baseline": False,
+        }),
+    ]
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=len(gates)) as pool:
+            futures = [
+                pool.submit(_run_check_gate, name, options)
+                for name, options in gates
+            ]
+            results = [future.result() for future in futures]
+    except (OSError, BrokenProcessPool):
+        # No usable process pool (restricted sandbox, dead worker):
+        # same gates, same output, serially.
+        results = [_run_check_gate(name, options) for name, options in gates]
+    statuses = {
+        EXIT_OK: "clean", EXIT_FINDINGS: "findings", EXIT_FATAL: "fatal",
+    }
+    for index, (name, code, text) in enumerate(results):
+        if index:
+            print()
+        print(f"== {name} ==")
+        print(text, end="" if text.endswith("\n") else "\n")
+        print(f"{name}: exit {code} "
+              f"({statuses.get(code, 'unknown')})")
+    failed = [code for _, code, _ in results if code != EXIT_OK]
+    print(f"\ncheck: {len(results) - len(failed)}/{len(results)} "
           "gates clean")
     return EXIT_FINDINGS if failed else EXIT_OK
 
@@ -757,9 +876,50 @@ def build_parser() -> argparse.ArgumentParser:
              "a TODO justification that still fails the gate)",
     )
 
+    p_perf = sub.add_parser(
+        "perfcheck",
+        help="whole-program hot-path performance checks",
+    )
+    p_perf.add_argument(
+        "--src", default="src", metavar="DIR",
+        help="source root to analyze (default: src)",
+    )
+    p_perf.add_argument(
+        "--contract", default="perfcontract.toml", metavar="FILE",
+        help="hot-path contract file (default: perfcontract.toml)",
+    )
+    p_perf.add_argument(
+        "--baseline", default="perfcheck-baseline.json", metavar="FILE",
+        help="justified-waiver baseline "
+             "(default: perfcheck-baseline.json)",
+    )
+    p_perf.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is what CI gates on)",
+    )
+    p_perf.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON report here (for CI artifacts)",
+    )
+    p_perf.add_argument(
+        "--dot", metavar="FILE",
+        help="write the hot-region graph as Graphviz DOT ('-' for stdout)",
+    )
+    p_perf.add_argument(
+        "--profile-json", metavar="FILE",
+        help="cross-check the contract against a benchmark profile "
+             "(e.g. BENCH_replay.json)",
+    )
+    p_perf.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to current findings (new entries get "
+             "a TODO justification that still fails the gate)",
+    )
+
     p_check = sub.add_parser(
         "check",
-        help="umbrella gate: lint + archcheck + faultcheck in one run",
+        help="umbrella gate: lint + archcheck + faultcheck + perfcheck, "
+             "run concurrently",
     )
     p_check.add_argument(
         "--src", default="src", metavar="DIR",
@@ -785,12 +945,26 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: faultcheck-baseline.json)",
     )
     p_check.add_argument(
+        "--perf-contract", default="perfcontract.toml", metavar="FILE",
+        help="hot-path contract file (default: perfcontract.toml)",
+    )
+    p_check.add_argument(
+        "--perf-baseline", default="perfcheck-baseline.json",
+        metavar="FILE",
+        help="perfcheck waiver baseline "
+             "(default: perfcheck-baseline.json)",
+    )
+    p_check.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format for every gate",
     )
     p_check.add_argument(
         "--report", metavar="FILE",
         help="also write the faultcheck JSON report here",
+    )
+    p_check.add_argument(
+        "--perf-report", metavar="FILE",
+        help="also write the perfcheck JSON report here",
     )
 
     p_sanitize = sub.add_parser(
@@ -873,6 +1047,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": cmd_lint,
         "archcheck": cmd_archcheck,
         "faultcheck": cmd_faultcheck,
+        "perfcheck": cmd_perfcheck,
         "check": cmd_check,
         "sanitize": cmd_sanitize,
         "chaos": cmd_chaos,

@@ -175,6 +175,14 @@ class RasterPipelineModel:
         fetch_end = 0
         last_end = 0
 
+        # Hot loop: these depend only on the (frozen) config, so resolve
+        # them once rather than per tile.
+        fifo_depth = self.config.fifo_depth
+        if self.decoupled:
+            bank_flush = self._flush_cycles(whole_tile=False)
+        else:
+            tile_flush = self._flush_cycles(whole_tile=True)
+
         for tile_index, tile_work in enumerate(tiles):
             fetch_end += tile_work.fetch_cycles
             fetch_total += tile_work.fetch_cycles
@@ -189,13 +197,12 @@ class RasterPipelineModel:
             work = [ez, frag, blend]
 
             if self.decoupled:
-                bank_flush = self._flush_cycles(whole_tile=False)
                 # FIFO skew bound: tile t's quads are distributed only
                 # once every unit's Fragment stage has started consuming
                 # tile t - fifo_depth (its FIFO slot is then freed).
                 gate = 0
-                if tile_index >= self.config.fifo_depth:
-                    gate = max(frag_starts[tile_index - self.config.fifo_depth])
+                if tile_index >= fifo_depth:
+                    gate = max(frag_starts[tile_index - fifo_depth])
                 tile_starts = [0] * n_units
                 for b in range(n_units):
                     avail = max(fetch_end, gate)
@@ -227,7 +234,7 @@ class RasterPipelineModel:
                     if s == 2:
                         # Whole-tile Color Buffer flush before the next
                         # tile may enter Blending.
-                        finish += self._flush_cycles(whole_tile=True)
+                        finish += tile_flush
                     end_stage[s] = finish
                     avail = begin + 1
                     prev_finish = finish

@@ -24,7 +24,7 @@ from repro.config import GPUConfig
 from repro.core.tile_order import TileCoord
 from repro.raster.blending import BlendingUnit
 from repro.raster.color_buffer import ColorBuffer
-from repro.raster.fragment import QUAD_PIXEL_OFFSETS, Quad
+from repro.raster.fragment import Quad
 from repro.raster.setup import ScreenPrimitive
 from repro.raster.zbuffer import ZBuffer
 from repro.texture.sampler import FilterMode, Sampler, compute_lod
@@ -198,25 +198,30 @@ class Rasterizer:
                 (height + height % 2, width + width % 2), dtype=bool
             )
             grid[:height, :width] = passed
-        block_any = grid.reshape(
+        block_view = grid.reshape(
             grid.shape[0] // 2, 2, grid.shape[1] // 2, 2
-        ).any(axis=(1, 3))
+        ).transpose(0, 2, 1, 3)
+        block_any = block_view.any(axis=(2, 3))
+        bys, bxs = np.nonzero(block_any)
         covered_blocks = [
-            (int(bx) * 2, int(by) * 2)
-            for by, bx in zip(*np.nonzero(block_any))
+            (int(bx) * 2, int(by) * 2) for by, bx in zip(bys, bxs)
         ]
         if not covered_blocks:
             return quads
+        # Per-quad 2x2 coverage for every covered block at once; the
+        # row-major (dy, dx) flattening reproduces QUAD_PIXEL_OFFSETS
+        # order, and the grid's False padding matches the out-of-bounds
+        # lanes of the old per-block slice.
+        coverages = [
+            tuple(row) for row in block_view[bys, bxs]
+            .reshape(len(covered_blocks), 4).tolist()
+        ]
         footprints = self._batch_footprints(
             u, v, covered_blocks, texture, shader.texture_samples
         )
-        for (bx, by), (lod, lines) in zip(covered_blocks, footprints):
-            block = passed[by : by + 2, bx : bx + 2]
-            coverage = tuple(
-                bool(block[dy, dx])
-                if dy < block.shape[0] and dx < block.shape[1] else False
-                for dx, dy in QUAD_PIXEL_OFFSETS
-            )
+        for (bx, by), coverage, (lod, lines) in zip(
+            covered_blocks, coverages, footprints
+        ):
             quad = Quad(
                 tile=tile,
                 qx=(x0 + bx - tile_x0) // 2,
@@ -295,23 +300,24 @@ class Rasterizer:
         lane_levels = np.broadcast_to(levels[:, None], lane_x.shape)
 
         # lines[k, lane, sample, neighbour] in scalar visit order.
+        lines_batch = self.sampler.bilinear_lines_batch
         per_sample = []
         for sample in range(texture_samples):
             scale = float(sample + 1)
             lane_u = u[lane_y, lane_x] * scale
             lane_v = v[lane_y, lane_x] * scale
             per_sample.append(
-                self.sampler.bilinear_lines_batch(
-                    texture, lane_u, lane_v, lane_levels
-                )
+                lines_batch(texture, lane_u, lane_v, lane_levels)
             )
         lines = np.stack(per_sample, axis=2)
 
-        out: List[Tuple[float, Tuple[int, ...]]] = []
-        for k in range(len(blocks)):
-            ordered = dict.fromkeys(lines[k].ravel().tolist())
-            out.append((float(lods[k]), tuple(ordered)))
-        return out
+        # Flattening each block's slice row-major is exactly its
+        # ravel(); dict.fromkeys dedups in first-visit order.
+        flat = lines.reshape(len(blocks), -1).tolist()
+        return [
+            (lod, tuple(dict.fromkeys(row)))
+            for lod, row in zip(lods.tolist(), flat)
+        ]
 
     def _quad_texture_footprint(
         self,

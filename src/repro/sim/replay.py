@@ -156,8 +156,11 @@ class TraceReplayer:
         per_tile_counts: List[List[int]] = []
         total_quads = 0
         process = self._tile_quads_fast if fast else self._tile_quads_reference
+        # Hot loop: resolve attribute chains once, not per tile.
+        tile_entries = trace.tiles
+        check_quads = self.budget.check_quads
         for step, tile in enumerate(scheduler.tiles):
-            entry = trace.tiles.get(tile) or TileTraceEntry()
+            entry = tile_entries.get(tile) or TileTraceEntry()
             if fast:
                 hierarchy.tile_access_lines(entry.fetch_lines)
             else:
@@ -176,7 +179,7 @@ class TraceReplayer:
                 )
             )
             per_tile_counts.append(counts)
-            self.budget.check_quads(total_quads, design.name)
+            check_quads(total_quads, design.name)
 
         replication = hierarchy.replication_factor()
         pipeline = RasterPipelineModel(gpu, design.decoupled)

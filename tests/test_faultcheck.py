@@ -763,12 +763,13 @@ class TestFaultcheckCli:
         assert "== lint ==" in out
         assert "== archcheck ==" in out
         assert "== faultcheck ==" in out
-        assert "3/3 gates clean" in out
+        assert "== perfcheck ==" in out
+        assert "4/4 gates clean" in out
 
     def test_check_umbrella_gates_on_any_failing_gate(self, tmp_path,
                                                       monkeypatch, capsys):
-        # A fixture repo whose faultcheck fails but whose lint and
-        # archcheck pass: the umbrella must still exit 1.
+        # A fixture repo whose faultcheck fails but whose lint,
+        # archcheck and perfcheck pass: the umbrella must still exit 1.
         src = write_tree(tmp_path / "src", mutate({
             "pkg/boundary.py": (
                 "def shield(fn):\n"
@@ -782,7 +783,17 @@ class TestFaultcheckCli:
             "[project]\npackage = \"pkg\"\n"
             "[layers]\nall = []\n"
             "[modules]\npkg = \"all\"\n"
-            "[deadcode]\nignore = [\"*\"]\n",
+            + "".join(
+                f'"pkg.{mod}" = "all"\n'
+                for mod in ("boundary", "cli", "core", "errors", "faults")
+            )
+            + "[deadcode]\nignore = [\"*\"]\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "perfcontract.toml").write_text(
+            "[project]\npackage = \"pkg\"\n"
+            "[[entry]]\nfunction = \"pkg.core.risky\"\n"
+            "max_loop_depth = 0\n",
             encoding="utf-8",
         )
         monkeypatch.chdir(tmp_path)
@@ -790,9 +801,41 @@ class TestFaultcheckCli:
             "check", "--src", str(src), "--package", "pkg",
             "--fault-baseline", str(tmp_path / "fault-baseline.json"),
             "--arch-baseline", str(tmp_path / "arch-baseline.json"),
+            "--perf-baseline", str(tmp_path / "perf-baseline.json"),
         ])
         out = capsys.readouterr().out
         assert code == 1
         assert "swallowed-base-exception" in out
-        assert "gates clean" in out
-        assert "3/3 gates clean" not in out
+        assert "faultcheck: exit 1 (findings)" in out
+        assert "perfcheck: exit 0 (clean)" in out
+        assert "3/4 gates clean" in out
+
+    def test_check_umbrella_reports_a_broken_gate_as_fatal(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # A missing perf contract fails its own gate with exit 2 but
+        # must not take down the other three analyzers.
+        src = write_tree(tmp_path / "src", dict(CLEAN_TREE))
+        (tmp_path / "archcontract.toml").write_text(
+            "[project]\npackage = \"pkg\"\n"
+            "[layers]\nall = []\n"
+            "[modules]\npkg = \"all\"\n"
+            + "".join(
+                f'"pkg.{mod}" = "all"\n'
+                for mod in ("cli", "core", "errors", "faults")
+            )
+            + "[deadcode]\nignore = [\"*\"]\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "check", "--src", str(src), "--package", "pkg",
+            "--fault-baseline", str(tmp_path / "fault-baseline.json"),
+            "--arch-baseline", str(tmp_path / "arch-baseline.json"),
+            "--perf-baseline", str(tmp_path / "perf-baseline.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "perfcheck: exit 2 (fatal)" in out
+        assert "no performance contract" in out
+        assert "3/4 gates clean" in out

@@ -1,10 +1,12 @@
-"""Replay-engine performance harness.
+"""Render- and replay-engine performance harness.
 
-Measures the throughput of the pass-2 replay engine (fast vs reference)
-over the game suite, plus serial-vs-parallel sweep wall time, and writes
-the results as ``BENCH_replay.json`` at the repository root.  This is
-the evidence for the fast-engine speedup target and the CI perf-smoke
-regression gate.
+Measures the throughput of the pass-1 render front-end and the pass-2
+replay engine (fast vs reference for both) over the game suite, plus
+serial-vs-parallel sweep wall time, and writes the results as
+``BENCH_replay.json`` at the repository root.  This is the evidence for
+the fast-engine speedup targets and the CI perf-smoke regression gate.
+The render leg also cross-checks the two engines' trace digests per
+game, so the perf evidence doubles as a bit-exactness smoke test.
 
 Usage::
 
@@ -19,7 +21,8 @@ Environment knobs (matching the figure benches):
 * ``REPRO_BENCH_GAMES``   — comma-separated aliases (default: all ten).
 * ``REPRO_BENCH_REPEATS`` — timing repeats, best-of (default 3).
 * ``REPRO_BENCH_JOBS``    — worker count for the parallel sweep leg
-  (default 2).
+  (default: 2, clamped to the host's CPU count — extra workers on a
+  single-CPU host only add pool overhead).
 * ``REPRO_BENCH_REGRESSION_FACTOR`` — regression tolerance for
   ``--check`` (default 2.0; raise it on noisy runners instead of
   deleting the gate).
@@ -54,9 +57,11 @@ REGRESSION_FACTOR = float(
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis.lint.sanitizer import trace_digest  # noqa: E402
 from repro.config import GPUConfig  # noqa: E402
 from repro.core.dtexl import BASELINE, DTEXL_BEST  # noqa: E402
 from repro.sim.checkpoint import TraceCheckpointStore, trace_key  # noqa: E402
+from repro.sim.driver import ENGINES as RENDER_ENGINES  # noqa: E402
 from repro.sim.driver import FrameRenderer  # noqa: E402
 from repro.sim.experiment import ExperimentRunner  # noqa: E402
 from repro.sim.replay import ENGINES, TraceReplayer  # noqa: E402
@@ -84,10 +89,44 @@ def bench_games():
 
 
 def render_traces(config, games):
-    renderer = FrameRenderer(config)
-    t0 = time.perf_counter()
-    traces = {g: renderer.render(build_game(g, config))[0] for g in games}
-    return traces, time.perf_counter() - t0
+    """Time pass-1 for both render engines over prebuilt workloads.
+
+    Workloads are built once up front so the timings are pure render.
+    Returns ``(traces, render_s, render_section)``: the fast-engine
+    traces (reused by the replay legs), the total fast-engine render
+    seconds, and the per-game ``render`` section for the JSON output —
+    including a per-game digest cross-check of the two engines.
+    """
+    workloads = {g: build_game(g, config) for g in games}
+    renderers = {e: FrameRenderer(config, engine=e) for e in RENDER_ENGINES}
+    seconds = {e: {} for e in RENDER_ENGINES}
+    traces = {}
+    digests_match = True
+    for game in games:
+        digests = {}
+        for engine in RENDER_ENGINES:
+            t0 = time.perf_counter()
+            trace, _ = renderers[engine].render(workloads[game])
+            seconds[engine][game] = time.perf_counter() - t0
+            digests[engine] = trace_digest(trace)
+            if engine == "fast":
+                traces[game] = trace
+        digests_match &= len(set(digests.values())) == 1
+    fast_s = sum(seconds["fast"].values())
+    reference_s = sum(seconds["reference"].values())
+    total_quads = sum(t.total_quads for t in traces.values())
+    section = {
+        "per_game_seconds": {
+            e: {g: round(s, 4) for g, s in per_game.items()}
+            for e, per_game in seconds.items()
+        },
+        "fast_seconds": round(fast_s, 4),
+        "reference_seconds": round(reference_s, 4),
+        "quads_per_s": round(total_quads / fast_s, 1),
+        "engine_speedup": round(reference_s / fast_s, 3),
+        "digests_match": digests_match,
+    }
+    return traces, fast_s, section
 
 
 def time_engines(config, traces, repeats: int) -> dict:
@@ -134,11 +173,20 @@ def run_bench() -> dict:
     config = bench_config()
     games = bench_games()
     repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
-    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+    cpu_count = os.cpu_count() or 1
+    jobs_env = os.environ.get("REPRO_BENCH_JOBS")
+    # Default jobs clamp to the host: oversubscribing a single CPU only
+    # measures pool overhead.  An explicit REPRO_BENCH_JOBS still wins.
+    jobs = int(jobs_env) if jobs_env else max(1, min(2, cpu_count))
 
     print(f"rendering {len(games)} traces at "
-          f"{config.screen_width}x{config.screen_height} ...")
-    traces, render_s = render_traces(config, games)
+          f"{config.screen_width}x{config.screen_height} "
+          f"(fast + reference engines) ...")
+    traces, render_s, render_section = render_traces(config, games)
+    print(f"render fast {render_section['fast_seconds']:.3f} s, reference "
+          f"{render_section['reference_seconds']:.3f} s "
+          f"({render_section['engine_speedup']:.2f}x, digests_match="
+          f"{render_section['digests_match']})")
     replays = len(traces) * len(DESIGNS)
     total_quads = sum(t.total_quads for t in traces.values()) * len(DESIGNS)
     total_lines = (
@@ -163,7 +211,14 @@ def run_bench() -> dict:
         for alias, trace in traces.items():
             store.save(trace_key(config, GAMES[alias].recipe), trace)
         serial_s = time_sweep(config, games, 1, store)
-        parallel_s = time_sweep(config, games, jobs, store)
+        if jobs > 1:
+            parallel_s = time_sweep(config, games, jobs, store)
+        else:
+            # A second serial run would only measure noise; on a
+            # single-CPU host (or with REPRO_BENCH_JOBS=1) the
+            # parallel leg degenerates to the serial one.
+            print("jobs=1 (clamped to host CPUs): parallel leg skipped")
+            parallel_s = serial_s
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
     print(f"sweep serial {serial_s:.3f} s, jobs={jobs} {parallel_s:.3f} s")
@@ -179,8 +234,10 @@ def run_bench() -> dict:
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
             "machine": platform.machine(),
+            "cpu_count": cpu_count,
         },
         "render_seconds": round(render_s, 4),
+        "render": render_section,
         "replays_timed": replays,
         "total_quads": total_quads,
         "total_texture_lines": total_lines,
@@ -197,19 +254,36 @@ def run_bench() -> dict:
 
 
 def check_regression(result: dict, baseline_path: Path) -> int:
-    """Exit code 1 on a > ``REGRESSION_FACTOR`` throughput regression."""
+    """Exit code 1 on a > ``REGRESSION_FACTOR`` throughput regression.
+
+    Gates both the replay engine and the render front-end against the
+    committed baseline, and fails outright if the render leg's
+    fast-vs-reference digest cross-check diverged — a perf win that
+    changes the trace is a correctness bug, not a speedup.
+    """
     baseline = json.loads(baseline_path.read_text())
-    base_tp = baseline["engines"]["fast"]["quads_per_s"]
-    measured = result["engines"]["fast"]["quads_per_s"]
-    floor = base_tp / REGRESSION_FACTOR
-    print(f"regression gate: measured {measured:,.0f} quads/s vs "
-          f"baseline {base_tp:,.0f} (floor {floor:,.0f})")
-    if measured < floor:
-        print(f"FAIL: fast-engine throughput regressed more than "
-              f"{REGRESSION_FACTOR}x vs {baseline_path}", file=sys.stderr)
-        return 1
-    print("regression gate passed")
-    return 0
+    failed = 0
+    gates = [("replay", result["engines"]["fast"]["quads_per_s"],
+              baseline["engines"]["fast"]["quads_per_s"])]
+    if "render" in baseline:
+        gates.append(("render", result["render"]["quads_per_s"],
+                      baseline["render"]["quads_per_s"]))
+    for name, measured, base_tp in gates:
+        floor = base_tp / REGRESSION_FACTOR
+        print(f"{name} regression gate: measured {measured:,.0f} quads/s "
+              f"vs baseline {base_tp:,.0f} (floor {floor:,.0f})")
+        if measured < floor:
+            print(f"FAIL: fast {name} throughput regressed more than "
+                  f"{REGRESSION_FACTOR}x vs {baseline_path}",
+                  file=sys.stderr)
+            failed = 1
+    if not result["render"]["digests_match"]:
+        print("FAIL: fast and reference render engines produced "
+              "different trace digests", file=sys.stderr)
+        failed = 1
+    if not failed:
+        print("regression gates passed")
+    return failed
 
 
 def main(argv=None) -> int:

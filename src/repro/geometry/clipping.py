@@ -10,9 +10,12 @@ to keep the perspective divide well-defined.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
-from repro.geometry.primitive_assembly import Primitive
+import numpy as np
+
+from repro.geometry.primitive_assembly import Primitive, PrimitiveBatch
+from repro.geometry.vec import Vec2 as _Vec2, Vec3 as _Vec3, Vec4 as _Vec4
 from repro.geometry.vertex_stage import TransformedVertex
 
 #: Minimum w after clipping; keeps 1/w finite.
@@ -70,6 +73,77 @@ def _outside_one_plane(primitive: Primitive) -> bool:
         if all(getattr(v.clip_position, axis) < -v.clip_position.w for v in verts):
             return True
     return False
+
+
+def clip_batch(batch: PrimitiveBatch) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized clip/cull classification of a whole primitive batch.
+
+    Returns ``(keep, fallback)``: ``keep`` flags triangles that survive
+    :func:`clip_primitive` *unchanged* (trivially inside the near plane,
+    not rejected, not culled) and ``fallback`` flags triangles that need
+    the scalar clipper (some vertex at or behind ``w == NEAR_EPSILON``
+    but not trivially rejected).  Everything else is discarded, exactly
+    as the scalar path discards it.
+
+    Bit-exactness: a triangle whose three vertices all satisfy
+    ``w > NEAR_EPSILON`` passes Sutherland-Hodgman untouched (every
+    vertex is emitted, no intersections), fans to itself, and reaches
+    :func:`cull_backface` with its original vertices — so the only
+    decision left is the NDC signed-area test replicated here
+    elementwise.
+    """
+    cx, cy, cz, cw = batch.cx, batch.cy, batch.cz, batch.cw
+    reject = (
+        (cx > cw).all(axis=1) | (cx < -cw).all(axis=1)
+        | (cy > cw).all(axis=1) | (cy < -cw).all(axis=1)
+        | (cz > cw).all(axis=1) | (cz < -cw).all(axis=1)
+    )
+    clean = (cw > NEAR_EPSILON).all(axis=1) & ~reject
+    fallback = ~reject & ~clean
+
+    # Back-face / degeneracy cull for the clean rows, in NDC exactly as
+    # cull_backface computes it (w > NEAR_EPSILON, so 1/w is finite).
+    safe_w = np.where(clean[:, None], cw, 1.0)
+    inv = 1.0 / safe_w
+    nx = cx * inv
+    ny = cy * inv
+    area2 = (
+        (nx[:, 1] - nx[:, 0]) * (ny[:, 2] - ny[:, 0])
+        - (nx[:, 2] - nx[:, 0]) * (ny[:, 1] - ny[:, 0])
+    )
+    keep = clean & (area2 != 0.0)
+    return keep, fallback
+
+
+def primitive_from_batch(batch: PrimitiveBatch, row: int) -> Primitive:
+    """Materialize one batch row as a scalar :class:`Primitive`.
+
+    Used for the rows :func:`clip_batch` sends to the scalar fallback;
+    the reconstructed vertices carry exactly the batch's float values.
+    """
+    vertices = tuple(
+        TransformedVertex(
+            clip_position=_Vec4(
+                float(batch.cx[row, i]), float(batch.cy[row, i]),
+                float(batch.cz[row, i]), float(batch.cw[row, i]),
+            ),
+            uv=_Vec2(float(batch.u[row, i]), float(batch.v[row, i])),
+            color=_Vec3(
+                float(batch.cr[row, i]), float(batch.cg[row, i]),
+                float(batch.cb[row, i]),
+            ),
+        )
+        for i in range(3)
+    )
+    return Primitive(
+        primitive_id=int(batch.pid[row]),
+        vertices=vertices,
+        texture_id=batch.texture_id,
+        shader=batch.shader,
+        depth_write=batch.depth_write,
+        blend=batch.blend,
+        late_z=batch.late_z,
+    )
 
 
 def clip_primitive(primitive: Primitive) -> List[Primitive]:

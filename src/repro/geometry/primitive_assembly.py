@@ -14,8 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
+import numpy as np
+
 from repro.geometry.mesh import DrawCommand, ShaderProgram
-from repro.geometry.vertex_stage import TransformedVertex
+from repro.geometry.vertex_stage import TransformedVertex, VertexBatch
 from repro.errors import WorkloadError
 
 
@@ -48,6 +50,36 @@ class Primitive:
         )
 
 
+@dataclass
+class PrimitiveBatch:
+    """Structure-of-arrays form of a draw's assembled triangles.
+
+    Vertex attributes are ``(T, 3)`` arrays (one row per triangle, one
+    column per corner, in index-triple order); ``pid`` carries the
+    program-order primitive ids the scalar assembler would have
+    assigned.  Render state is uniform per draw and kept scalar.
+    """
+
+    cx: np.ndarray
+    cy: np.ndarray
+    cz: np.ndarray
+    cw: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    cr: np.ndarray
+    cg: np.ndarray
+    cb: np.ndarray
+    pid: np.ndarray
+    texture_id: int
+    shader: ShaderProgram
+    depth_write: bool
+    blend: bool
+    late_z: bool
+
+    def __len__(self) -> int:
+        return len(self.pid)
+
+
 class PrimitiveAssembler:
     """Joins transformed vertices into triangles in program order."""
 
@@ -78,6 +110,40 @@ class PrimitiveAssembler:
             )
             self._next_id += 1
             yield primitive
+
+    def assemble_batch(
+        self, draw: DrawCommand, batch: VertexBatch
+    ) -> PrimitiveBatch:
+        """Vectorized :meth:`assemble`: one SoA row per index triple.
+
+        Consumes the same global id counter as the scalar path, so a
+        renderer may not mix both methods for the same frame's draws in
+        anything but program order.
+        """
+        if len(batch) != len(draw.mesh.indices):
+            raise WorkloadError(
+                "transformed vertex stream does not match the index buffer"
+            )
+        count = len(batch) // 3
+        pid = np.arange(self._next_id, self._next_id + count, dtype=np.int64)
+        self._next_id += count
+        return PrimitiveBatch(
+            cx=batch.clip_x.reshape(count, 3),
+            cy=batch.clip_y.reshape(count, 3),
+            cz=batch.clip_z.reshape(count, 3),
+            cw=batch.clip_w.reshape(count, 3),
+            u=batch.u.reshape(count, 3),
+            v=batch.v.reshape(count, 3),
+            cr=batch.color_r.reshape(count, 3),
+            cg=batch.color_g.reshape(count, 3),
+            cb=batch.color_b.reshape(count, 3),
+            pid=pid,
+            texture_id=draw.texture_id,
+            shader=draw.shader,
+            depth_write=draw.depth_write,
+            blend=draw.blend,
+            late_z=draw.late_z,
+        )
 
     @property
     def primitives_assembled(self) -> int:

@@ -16,6 +16,9 @@ lanes outside the triangle — exactly as real GPU quads compute mip LOD.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
+from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -25,10 +28,43 @@ from repro.core.tile_order import TileCoord
 from repro.raster.blending import BlendingUnit
 from repro.raster.color_buffer import ColorBuffer
 from repro.raster.fragment import Quad
-from repro.raster.setup import ScreenPrimitive
+from repro.raster.interpolation import barycentric_grid, interpolate_uv_grid
+from repro.raster.setup import ScreenBatch, ScreenPrimitive
 from repro.raster.zbuffer import ZBuffer
 from repro.texture.sampler import FilterMode, Sampler, compute_lod
 from repro.texture.texture import Texture
+
+#: Coverage tuple for each 4-bit lane code (lane 0 is the high bit), so
+#: the quad emission loop looks coverage up instead of building tuples.
+COVERAGE_TUPLES = tuple(
+    tuple(bool((code >> shift) & 1) for shift in (3, 2, 1, 0))
+    for code in range(16)
+)
+
+_COVERAGE_WEIGHTS = np.array([8, 4, 2, 1], dtype=np.int64)
+
+#: What ``Quad._make`` does, without its Python-level wrapper frame —
+#: the emission loop builds hundreds of thousands of quads per frame.
+_NEW_QUAD = partial(tuple.__new__, Quad)
+
+
+@dataclass
+class PendingTileQuads:
+    """One tile's rasterized quads awaiting batched footprint assembly.
+
+    Everything the final :class:`Quad` records need except the texture
+    footprints, which are computed frame-wide per (texture, samples)
+    group by :meth:`Rasterizer.finalize_quads_fast`.
+    """
+
+    tile: TileCoord
+    qx: np.ndarray
+    qy: np.ndarray
+    prim_row: np.ndarray
+    coverage_code: np.ndarray
+    covered: int
+    lane_u: np.ndarray
+    lane_v: np.ndarray
 
 
 class Rasterizer:
@@ -70,6 +106,240 @@ class Rasterizer:
                 )
             )
         return quads
+
+    def rasterize_tile_fast(
+        self,
+        tile: TileCoord,
+        batch: ScreenBatch,
+        rows: np.ndarray,
+        zbuffer: ZBuffer,
+    ) -> Optional[PendingTileQuads]:
+        """Whole-tile rasterization of all of a tile's primitives at once.
+
+        Evaluates the three edge functions, depth and perspective UVs of
+        every primitive over the full tile pixel grid in one shot, runs
+        Early-Z as an exclusive running minimum over the primitive axis
+        (depth updates are order-independent ``min`` folds, so the
+        sequential per-primitive test collapses exactly), and extracts
+        covered 2x2 quads vectorized.  Bit-identical to running
+        :meth:`rasterize_tile` over the same primitive list: every
+        arithmetic expression reproduces the scalar path's association
+        order, the full-grid evaluation only adds pixels the per-region
+        masks switch off, and the quad emission order (primitive, then
+        block row-major) is ``np.nonzero``'s C order.
+
+        ``zbuffer`` only accumulates the ``tests``/``passes`` counters
+        (the depth state lives in the running minimum here).
+        """
+        config = self.config
+        ts = config.tile_size
+        tile_x0, tile_y0 = tile[0] * ts, tile[1] * ts
+        tile_x1 = min(tile_x0 + ts, config.screen_width)
+        tile_y1 = min(tile_y0 + ts, config.screen_height)
+
+        # Quad-aligned clip region per primitive (the scalar
+        # _tile_clip_region, vectorized; floats first so huge
+        # coordinates cannot overflow the int cast — any such row is
+        # empty or clamped to the tile bound before casting).
+        vx = batch.x[rows]
+        vy = batch.y[rows]
+        fx0 = np.maximum(float(tile_x0), np.floor(np.min(vx, axis=1)))
+        fy0 = np.maximum(float(tile_y0), np.floor(np.min(vy, axis=1)))
+        fx1 = np.minimum(float(tile_x1), np.ceil(np.max(vx, axis=1)) + 1.0)
+        fy1 = np.minimum(float(tile_y1), np.ceil(np.max(vy, axis=1)) + 1.0)
+        valid = (fx0 < fx1) & (fy0 < fy1) & (batch.area2[rows] != 0.0)
+        if not valid.all():
+            rows = rows[valid]
+            if not len(rows):
+                return None
+            fx0, fy0 = fx0[valid], fy0[valid]
+            fx1, fy1 = fx1[valid], fy1[valid]
+        x0 = fx0.astype(np.int64)
+        y0 = fy0.astype(np.int64)
+        x1 = fx1.astype(np.int64)
+        y1 = fy1.astype(np.int64)
+        x0 -= (x0 - tile_x0) % 2
+        y0 -= (y0 - tile_y0) % 2
+        x1 += (x1 - tile_x0) % 2
+        y1 += (y1 - tile_y0) % 2
+        x1 = np.minimum(x1, tile_x0 + ts)
+        y1 = np.minimum(y1, tile_y0 + ts)
+
+        # Pixel-centre grids over the whole tile; the scalar path's
+        # region grid is the same values restricted to the region.
+        px = (np.arange(tile_x0, tile_x0 + ts, dtype=np.float64) + 0.5)[
+            None, None, :
+        ]
+        py = (np.arange(tile_y0, tile_y0 + ts, dtype=np.float64) + 0.5)[
+            None, :, None
+        ]
+        col = np.arange(tile_x0, tile_x0 + ts, dtype=np.int64)
+        row_pix = np.arange(tile_y0, tile_y0 + ts, dtype=np.int64)
+
+        area2 = batch.area2[rows][:, None, None]
+        vx = batch.x[rows]
+        vy = batch.y[rows]
+        ax, bx, cx = (
+            vx[:, 0][:, None, None], vx[:, 1][:, None, None],
+            vx[:, 2][:, None, None],
+        )
+        ay, by, cy = (
+            vy[:, 0][:, None, None], vy[:, 1][:, None, None],
+            vy[:, 2][:, None, None],
+        )
+        w0, w1, w2 = barycentric_grid(ax, ay, bx, by, cx, cy, area2, px, py)
+        inside = (w0 >= 0.0) & (w1 >= 0.0) & (w2 >= 0.0)
+
+        # Region rect + screen clip (the scalar path only applies the
+        # screen clip on overhang, but it is a no-op elsewhere).
+        colm = (col >= x0[:, None]) & (col < x1[:, None])
+        rowm = (row_pix >= y0[:, None]) & (row_pix < y1[:, None])
+        colm &= col < config.screen_width
+        rowm &= row_pix < config.screen_height
+        inside &= rowm[:, :, None]
+        inside &= colm[:, None, :]
+
+        vz = batch.z[rows]
+        z = (
+            w0 * vz[:, 0][:, None, None]
+            + w1 * vz[:, 1][:, None, None]
+            + w2 * vz[:, 2][:, None, None]
+        )
+        inside &= (z >= 0.0) & (z <= 1.0)
+
+        # Early-Z.  The scalar depth update is an elementwise min fold
+        # over primitives, so "depth before primitive k" is an
+        # exclusive running minimum of the depth-write contributions.
+        contrib = np.where(
+            inside & batch.depth_write[rows][:, None, None], z, np.inf
+        )
+        running = np.minimum.accumulate(contrib, axis=0)
+        before = np.empty_like(running)
+        before[0] = np.inf
+        before[1:] = running[:-1]
+        tested = inside & (z < before)
+        zbuffer.tests += int(inside.sum())
+        zbuffer.passes += int(tested.sum())
+        passed = np.where(batch.late_z[rows][:, None, None], inside, tested)
+        if not passed.any():
+            return None
+
+        # 2x2 block reduction over every primitive at once; nonzero's
+        # C order is the scalar (primitive, by, bx) emission order.
+        half = ts // 2
+        blocks = passed.reshape(-1, half, 2, half, 2).transpose(0, 1, 3, 2, 4)
+        kidx, qy, qx = np.nonzero(blocks.any(axis=(3, 4)))
+        if not len(kidx):
+            return None
+        lanes = blocks[kidx, qy, qx].reshape(-1, 4)
+        codes = (lanes * _COVERAGE_WEIGHTS).sum(axis=1)
+
+        # Perspective UVs only at the emitted quads' lanes, in footprint
+        # order (0,0),(1,0),(0,1),(1,1): gather the barycentric weights
+        # at the 2x2 block (region clamps never bind — regions are
+        # even-sized — so the lanes are exactly the block) and apply the
+        # scalar interpolation expressions there.  Same inputs, same
+        # operations — bit-identical to interpolating the whole grid.
+        def block_lanes(grid: np.ndarray) -> np.ndarray:
+            view = grid.reshape(-1, half, 2, half, 2)
+            return view.transpose(0, 1, 3, 2, 4)[kidx, qy, qx].reshape(-1, 4)
+
+        lw0 = block_lanes(w0)
+        lw1 = block_lanes(w1)
+        lw2 = block_lanes(w2)
+        prim = rows[kidx]
+        vw = batch.inv_w[prim]
+        uw = batch.u_over_w[prim]
+        vvw = batch.v_over_w[prim]
+        lane_u, lane_v = interpolate_uv_grid(
+            lw0, lw1, lw2,
+            vw[:, :1], vw[:, 1:2], vw[:, 2:],
+            uw[:, :1], uw[:, 1:2], uw[:, 2:],
+            vvw[:, :1], vvw[:, 1:2], vvw[:, 2:],
+        )
+        return PendingTileQuads(
+            tile=tile,
+            qx=qx,
+            qy=qy,
+            prim_row=prim,
+            coverage_code=codes,
+            covered=int(lanes.sum()),
+            lane_u=lane_u,
+            lane_v=lane_v,
+        )
+
+    def finalize_quads_fast(
+        self, batch: ScreenBatch, pending: List[PendingTileQuads]
+    ) -> Dict[TileCoord, List[Quad]]:
+        """Frame-level footprint batching + quad emission.
+
+        Quads from every tile are grouped by (texture, samples) so the
+        mip-LOD and cache-line math runs in a handful of vectorized
+        calls per frame; the per-quad cache-line rows are then deduped
+        in first-visit order and wrapped into :class:`Quad` records in
+        each tile's emission order.
+        """
+        out: Dict[TileCoord, List[Quad]] = {}
+        if not pending:
+            return out
+        rows_all = np.concatenate([p.prim_row for p in pending])
+        lane_u = np.concatenate([p.lane_u for p in pending])
+        lane_v = np.concatenate([p.lane_v for p in pending])
+        tex_ids = batch.texture_id[rows_all]
+        samples = batch.texture_samples[rows_all]
+        total = len(rows_all)
+        lods = np.zeros(total, dtype=np.float64)
+        lines: List[Tuple[int, ...]] = [()] * total
+        # One flat loop over (texture, samples) groups: the pairing key
+        # is unique because samples lies in [0, stride).
+        stride = int(samples.max(initial=0)) + 1
+        group_key = tex_ids * stride + samples
+        textures_get = self.textures.get
+        footprints_batch = self.sampler.quad_footprints_batch
+        for key in np.unique(group_key).tolist():
+            count = key % stride
+            texture = textures_get(key // stride)
+            if texture is None or count == 0:
+                continue
+            idx = np.nonzero(group_key == key)[0]
+            group_lods, group_lines = footprints_batch(
+                texture, lane_u[idx], lane_v[idx], count
+            )
+            lods[idx] = group_lods
+            # First-visit dedup, vectorized: a column survives when
+            # it differs from every earlier column in its row —
+            # the order ``dict.fromkeys`` preserves.
+            first = np.ones(group_lines.shape, dtype=bool)
+            for j in range(1, group_lines.shape[1]):
+                first[:, j] = (
+                    group_lines[:, :j] != group_lines[:, j:j + 1]
+                ).all(axis=1)
+            flat = group_lines[first].tolist()
+            bounds = np.cumsum(first.sum(axis=1)).tolist()
+            start = 0
+            for i, end in zip(idx.tolist(), bounds):
+                lines[i] = tuple(flat[start:end])
+                start = end
+
+        lods_list = lods.tolist()
+        cursor = 0
+        for p in pending:
+            count = len(p.prim_row)
+            stop = cursor + count
+            tile = p.tile
+            out[tile] = list(map(_NEW_QUAD, zip(
+                repeat(tile), p.qx.tolist(), p.qy.tolist(),
+                batch.pid[p.prim_row].tolist(),
+                batch.texture_id[p.prim_row].tolist(),
+                map(COVERAGE_TUPLES.__getitem__, p.coverage_code.tolist()),
+                batch.alu_cycles[p.prim_row].tolist(),
+                lines[cursor:stop], lods_list[cursor:stop],
+                batch.blend[p.prim_row].tolist(),
+            )))
+            self.quads_emitted += count
+            self.pixels_shaded += p.covered
+            cursor = stop
+        return out
 
     # -- internals --------------------------------------------------------------
 

@@ -10,9 +10,12 @@ linearly in screen space and recover perspective-correct values per pixel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
-from repro.geometry.primitive_assembly import Primitive
+import numpy as np
+
+from repro.geometry.clipping import clip_primitive, primitive_from_batch
+from repro.geometry.primitive_assembly import Primitive, PrimitiveBatch
 from repro.geometry.transform import viewport_transform
 
 
@@ -107,4 +110,199 @@ def setup_primitive(
     area2 = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)
     return ScreenPrimitive(
         primitive=primitive, vertices=(a, b, c), area2=area2
+    )
+
+
+@dataclass
+class ScreenBatch:
+    """Structure-of-arrays form of a frame's screen-space triangles.
+
+    One row per post-clip triangle, in the exact stream order the
+    scalar pipeline appends :class:`ScreenPrimitive` objects.  Vertex
+    attributes are ``(n, 3)`` float arrays; render state is expanded
+    to per-row arrays so rows from different draws can share the batch.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    inv_w: np.ndarray
+    u_over_w: np.ndarray
+    v_over_w: np.ndarray
+    area2: np.ndarray
+    pid: np.ndarray
+    texture_id: np.ndarray
+    alu_cycles: np.ndarray
+    texture_samples: np.ndarray
+    depth_write: np.ndarray
+    blend: np.ndarray
+    late_z: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pid)
+
+    @staticmethod
+    def concatenate(parts: List["ScreenBatch"]) -> "ScreenBatch":
+        """Concatenate per-draw batches into one frame batch."""
+        if not parts:
+            return _empty_screen_batch()
+        return ScreenBatch(
+            **{
+                name: np.concatenate([getattr(p, name) for p in parts])
+                for name in _SCREEN_BATCH_FIELDS
+            }
+        )
+
+
+_SCREEN_BATCH_FIELDS = (
+    "x", "y", "z", "inv_w", "u_over_w", "v_over_w", "area2", "pid",
+    "texture_id", "alu_cycles", "texture_samples",
+    "depth_write", "blend", "late_z",
+)
+
+
+def _empty_screen_batch() -> ScreenBatch:
+    zero3 = np.zeros((0, 3), dtype=np.float64)
+    return ScreenBatch(
+        x=zero3, y=zero3, z=zero3, inv_w=zero3,
+        u_over_w=zero3, v_over_w=zero3,
+        area2=np.zeros(0, dtype=np.float64),
+        pid=np.zeros(0, dtype=np.int64),
+        texture_id=np.zeros(0, dtype=np.int64),
+        alu_cycles=np.zeros(0, dtype=np.int64),
+        texture_samples=np.zeros(0, dtype=np.int64),
+        depth_write=np.zeros(0, dtype=bool),
+        blend=np.zeros(0, dtype=bool),
+        late_z=np.zeros(0, dtype=bool),
+    )
+
+
+def _setup_fallback_rows(
+    batch: PrimitiveBatch, rows: np.ndarray, width: int, height: int
+) -> List[Tuple[int, ScreenPrimitive]]:
+    """Scalar clip + setup for the rows the batch clipper cannot prove.
+
+    Returns ``(order_key, screen_primitive)`` pairs where the key slots
+    each fanned triangle into the stream order (triangle row * 4 + fan
+    position; near-clipping a triangle fans into at most two).
+    """
+    out: List[Tuple[int, ScreenPrimitive]] = []
+    for row in rows.tolist():
+        primitive = primitive_from_batch(batch, row)
+        for fan, clipped in enumerate(clip_primitive(primitive)):
+            out.append(
+                (row * 4 + fan, setup_primitive(clipped, width, height))
+            )
+    return out
+
+
+def setup_draw_batch(
+    batch: PrimitiveBatch,
+    keep: np.ndarray,
+    fallback: np.ndarray,
+    width: int,
+    height: int,
+) -> ScreenBatch:
+    """Vectorized :func:`setup_primitive` over one draw's batch.
+
+    ``keep`` rows (clean, uncullled triangles from
+    :func:`~repro.geometry.clipping.clip_batch`) run through the
+    batched perspective divide + viewport transform below — the exact
+    association order of the scalar functions, elementwise.
+    ``fallback`` rows run through the scalar clipper and are merged
+    back in stream order (a fanned triangle sits exactly where the
+    scalar pipeline would append it).
+    """
+    kept = np.nonzero(keep)[0]
+    cw = batch.cw[kept]
+    inv = 1.0 / cw
+    nx = batch.cx[kept] * inv
+    ny = batch.cy[kept] * inv
+    nz = batch.cz[kept] * inv
+    sx = ((nx + 1.0) * 0.5) * width
+    sy = ((1.0 - ny) * 0.5) * height
+    sz = (nz + 1.0) * 0.5
+    u_over_w = batch.u[kept] * inv
+    v_over_w = batch.v[kept] * inv
+    area2 = (
+        (sx[:, 1] - sx[:, 0]) * (sy[:, 2] - sy[:, 0])
+        - (sx[:, 2] - sx[:, 0]) * (sy[:, 1] - sy[:, 0])
+    )
+    pid = batch.pid[kept]
+    keys = kept * 4
+
+    scalar = _setup_fallback_rows(
+        batch, np.nonzero(fallback)[0], width, height
+    )
+    if scalar:
+        sx, sy, sz, inv, u_over_w, v_over_w, area2, pid, keys = (
+            _merge_scalar_rows(
+                scalar, sx, sy, sz, inv, u_over_w, v_over_w, area2,
+                pid, keys,
+            )
+        )
+
+    count = len(pid)
+    return ScreenBatch(
+        x=sx, y=sy, z=sz, inv_w=inv,
+        u_over_w=u_over_w, v_over_w=v_over_w,
+        area2=area2, pid=pid,
+        texture_id=np.full(count, batch.texture_id, dtype=np.int64),
+        alu_cycles=np.full(count, batch.shader.alu_cycles, dtype=np.int64),
+        texture_samples=np.full(
+            count, batch.shader.texture_samples, dtype=np.int64
+        ),
+        depth_write=np.full(count, batch.depth_write, dtype=bool),
+        blend=np.full(count, batch.blend, dtype=bool),
+        late_z=np.full(count, batch.late_z, dtype=bool),
+    )
+
+
+def _merge_scalar_rows(
+    scalar: List[Tuple[int, ScreenPrimitive]],
+    sx: np.ndarray, sy: np.ndarray, sz: np.ndarray, inv: np.ndarray,
+    u_over_w: np.ndarray, v_over_w: np.ndarray,
+    area2: np.ndarray, pid: np.ndarray, keys: np.ndarray,
+):
+    """Splice scalar-clipped rows into the batched rows, stream-ordered."""
+    svx = np.array(
+        [[v.x for v in sp.vertices] for _, sp in scalar], dtype=np.float64
+    )
+    svy = np.array(
+        [[v.y for v in sp.vertices] for _, sp in scalar], dtype=np.float64
+    )
+    svz = np.array(
+        [[v.z for v in sp.vertices] for _, sp in scalar], dtype=np.float64
+    )
+    sinv = np.array(
+        [[v.inv_w for v in sp.vertices] for _, sp in scalar],
+        dtype=np.float64,
+    )
+    suw = np.array(
+        [[v.u_over_w for v in sp.vertices] for _, sp in scalar],
+        dtype=np.float64,
+    )
+    svw = np.array(
+        [[v.v_over_w for v in sp.vertices] for _, sp in scalar],
+        dtype=np.float64,
+    )
+    sarea = np.array([sp.area2 for _, sp in scalar], dtype=np.float64)
+    spid = np.array(
+        [sp.primitive_id for _, sp in scalar], dtype=np.int64
+    )
+    skeys = np.array([key for key, _ in scalar], dtype=np.int64)
+
+    order = np.argsort(
+        np.concatenate([keys, skeys]), kind="stable"
+    )
+    return (
+        np.concatenate([sx, svx])[order],
+        np.concatenate([sy, svy])[order],
+        np.concatenate([sz, svz])[order],
+        np.concatenate([inv, sinv])[order],
+        np.concatenate([u_over_w, suw])[order],
+        np.concatenate([v_over_w, svw])[order],
+        np.concatenate([area2, sarea])[order],
+        np.concatenate([pid, spid])[order],
+        np.concatenate([keys, skeys])[order],
     )

@@ -18,23 +18,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.config import GPUConfig
 from repro.core.tile_order import TileCoord, scanline_order
-from repro.geometry.clipping import clip_primitive
+from repro.errors import ConfigError
+from repro.geometry.clipping import clip_batch, clip_primitive
+from repro.geometry.mesh import VERTEX_STRIDE_BYTES
 from repro.geometry.primitive_assembly import PrimitiveAssembler
 from repro.geometry.vertex_stage import VertexStage
 from repro.raster.blending import BlendingUnit
 from repro.raster.color_buffer import ColorBuffer, FrameBuffer
 from repro.raster.fragment import Quad
-from repro.raster.rasterizer import Rasterizer
-from repro.raster.setup import setup_primitive
+from repro.raster.rasterizer import PendingTileQuads, Rasterizer
+from repro.raster.setup import ScreenBatch, setup_draw_batch, setup_primitive
 from repro.raster.zbuffer import ZBuffer
-from repro.texture.sampler import Sampler
+from repro.texture.sampler import FilterMode, Sampler
 from repro.tiling.polygon_list_builder import PolygonListBuilder
 from repro.tiling.tile_fetcher import TileFetcher
 from repro.workloads.recipe import BuiltWorkload
 
 LINE_BYTES = 64
+
+#: Render engine names accepted by :class:`FrameRenderer`.
+ENGINES = ("fast", "reference")
 
 
 @dataclass
@@ -124,16 +131,130 @@ class FrameTrace:
 
 
 class FrameRenderer:
-    """Runs pass 1 for one workload."""
+    """Runs pass 1 for one workload.
 
-    def __init__(self, config: GPUConfig, sampler: Optional[Sampler] = None):
+    Two engines produce bit-identical :class:`FrameTrace` records:
+
+    - ``"fast"`` (default) batches the whole Geometry Pipeline and the
+      per-tile rasterization with numpy, falling back to the scalar
+      clipper only for triangles straddling the near plane.
+    - ``"reference"`` is the original scalar pipeline, kept verbatim as
+      the equality oracle (``sanitizer.trace_digest`` matches per game).
+
+    Image output and non-bilinear samplers always take the reference
+    path — the fast engine only accelerates trace generation.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        sampler: Optional[Sampler] = None,
+        engine: str = "fast",
+    ):
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"unknown render engine {engine!r}; "
+                f"choose from {', '.join(ENGINES)}"
+            )
         self.config = config
         self.sampler = sampler or Sampler()
+        self.engine = engine
 
     def render(
         self, workload: BuiltWorkload, with_image: bool = False
     ) -> Tuple[FrameTrace, Optional[FrameBuffer]]:
         """Render one frame; returns the trace and (optionally) the image."""
+        if (
+            self.engine == "fast"
+            and not with_image
+            and self.sampler.filter_mode is FilterMode.BILINEAR
+        ):
+            return self._render_fast(workload), None
+        return self._render_reference(workload, with_image)
+
+    def _render_fast(self, workload: BuiltWorkload) -> FrameTrace:
+        """Batched pass 1: same trace as the reference engine, vectorized."""
+        scene = workload.scene
+        config = self.config
+        stats = RenderStats(num_draws=len(scene.draws))
+
+        # Geometry Pipeline, one batch per draw.
+        vertex_stage = VertexStage(hierarchy=None)
+        assembler = PrimitiveAssembler()
+        vertex_lines: List[int] = []
+        parts: List[ScreenBatch] = []
+        for draw in scene.draws:
+            index = np.asarray(draw.mesh.indices, dtype=np.int64)
+            vertex_lines.extend(
+                (
+                    (draw.mesh.base_address + index * VERTEX_STRIDE_BYTES)
+                    // LINE_BYTES
+                ).tolist()
+            )
+            vertex_batch = vertex_stage.run_batch(
+                draw, scene.view_matrix, scene.projection_matrix
+            )
+            primitive_batch = assembler.assemble_batch(draw, vertex_batch)
+            stats.num_primitives += len(primitive_batch)
+            keep, fallback = clip_batch(primitive_batch)
+            parts.append(
+                setup_draw_batch(
+                    primitive_batch, keep, fallback,
+                    config.screen_width, config.screen_height,
+                )
+            )
+        batch = ScreenBatch.concatenate(parts)
+        stats.num_clipped_primitives = len(batch)
+
+        # Tiling Engine.
+        builder = PolygonListBuilder(config)
+        bins = builder.build_fast(batch)
+
+        # Raster Pipeline: whole-tile rasterization, then frame-level
+        # footprint batching.
+        rasterizer = Rasterizer(config, workload.textures, self.sampler)
+        zbuffer = ZBuffer(config.tile_size)
+        tiles: Dict[TileCoord, TileTraceEntry] = {}
+        pending: List[PendingTileQuads] = []
+        for tile in scanline_order(config.tiles_x, config.tiles_y):
+            rows = bins.rows_for_tile(tile)
+            count = len(rows)
+            tiles[tile] = TileTraceEntry(
+                fetch_lines=TileFetcher.fetch_lines_fast(
+                    bins, tile, batch.pid[rows]
+                ),
+                fetch_cycles=max(
+                    count * config.tile_fetcher_cycles_per_primitive, 1
+                ),
+            )
+            if count:
+                tile_quads = rasterizer.rasterize_tile_fast(
+                    tile, batch, rows, zbuffer
+                )
+                if tile_quads is not None:
+                    pending.append(tile_quads)
+
+        for tile, quads in rasterizer.finalize_quads_fast(
+            batch, pending
+        ).items():
+            tiles[tile].quads = quads
+            if quads:
+                stats.nonempty_tiles += 1
+
+        stats.num_quads = rasterizer.quads_emitted
+        stats.pixels_shaded = rasterizer.pixels_shaded
+        stats.z_cull_rate = zbuffer.cull_rate
+        return FrameTrace(
+            config=config,
+            vertex_lines=vertex_lines,
+            tiles=tiles,
+            stats=stats,
+        )
+
+    def _render_reference(
+        self, workload: BuiltWorkload, with_image: bool = False
+    ) -> Tuple[FrameTrace, Optional[FrameBuffer]]:
+        """The original scalar pass 1 (the fast engine's equality oracle)."""
         scene = workload.scene
         config = self.config
         stats = RenderStats(num_draws=len(scene.draws))

@@ -193,6 +193,11 @@ class RunManifest:
     design_points_resumed: List[str] = field(default_factory=list)
     failures: List[FailureRecord] = field(default_factory=list)
     wall_time_s: float = 0.0
+    #: Wall seconds per campaign phase (parallel runs stamp ``render``,
+    #: ``pool_startup`` and ``replay``), so a slow campaign can be
+    #: attributed to pass-1 rendering, executor spin-up or the replays
+    #: themselves straight from the archived manifest.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def outcome(self) -> str:
@@ -212,5 +217,6 @@ class RunManifest:
             "design_points_resumed": list(self.design_points_resumed),
             "failures": [f.as_dict() for f in self.failures],
             "wall_time_s": self.wall_time_s,
+            "phase_seconds": dict(self.phase_seconds),
             "outcome": self.outcome,
         }

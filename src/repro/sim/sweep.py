@@ -560,6 +560,16 @@ class DesignSweep:
         deadline misses are absorbed by :class:`_TaskPool`; a task that
         exhausts its attempts becomes a :class:`FailureRecord` exactly
         like an in-process crash would.
+
+        The manifest's ``phase_seconds`` records where the wall time
+        went — ``render`` (pass-1 trace preparation and worker-cache
+        seeding), ``pool_startup`` (executor creation and task
+        submission) and ``replay`` (everything after, dominated by the
+        worker replays) — so a parallel campaign slower than its serial
+        twin can be diagnosed from the archived manifest alone.  On a
+        single-CPU host the replay phase is expected to show little or
+        no scaling: the workers contend for the one core and the
+        parent pays pool overhead on top.
         """
         pending = [
             design for design in self.design_points()
@@ -569,6 +579,14 @@ class DesignSweep:
         pool: Optional[_TaskPool] = None
         temp_dir: Optional[str] = None
         seeded: List[Tuple[str, str]] = []
+        phase_start = time.monotonic()  # replint: disable=wall-clock -- campaign phase attribution for the manifest, never a simulated quantity
+
+        def stamp(phase: str) -> None:
+            nonlocal phase_start
+            now = time.monotonic()  # replint: disable=wall-clock -- campaign phase attribution for the manifest, never a simulated quantity
+            manifest.phase_seconds[phase] = now - phase_start
+            phase_start = now
+
         try:
             if pending:
                 store = runner.checkpoint_store
@@ -581,6 +599,7 @@ class DesignSweep:
                     cache_key = (store_dir, key)
                     _WORKER_TRACES[cache_key] = runner.trace_for(alias)
                     seeded.append(cache_key)
+                stamp("render")
                 replayer = runner.replayer
                 config = runner.config
                 params = replayer.energy_model.params
@@ -605,6 +624,7 @@ class DesignSweep:
                              params, budget, engine, design.name, alias,
                              retry_policy, True),
                         )
+                stamp("pool_startup")
                 # Baseline first, in games order: the first failing
                 # game's exception propagates fatally, as serially —
                 # including a worker crash that outlived its retries.
@@ -638,6 +658,8 @@ class DesignSweep:
                     design, suite, base, runner, retry_policy, progress,
                     report, manifest,
                 )
+            if pending:
+                stamp("replay")
         finally:
             if pool is not None:
                 pool.close()

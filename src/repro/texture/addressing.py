@@ -53,9 +53,39 @@ def morton_decode(code: int) -> tuple:
     return _compact1by1(code), _compact1by1(code >> 1)
 
 
+def _build_morton_table():
+    import numpy as np
+
+    n = np.arange(1 << 16, dtype=np.uint64)
+    for mask, shift in zip(reversed(_B), reversed(_S)):
+        n = (n | (n << np.uint64(shift))) & np.uint64(mask)
+    return n
+
+
+#: 16-bit bit-spread lookup table (``table[n] == _part1by1(n)``): 512 KiB
+#: built once at import, turning Morton encoding of coordinates below
+#: 2**16 into two gathers, a shift and an or.  Built eagerly so the
+#: timing-critical render/replay paths never mutate module state.
+_MORTON_TABLE = _build_morton_table()
+
+
+def morton_table():
+    """The precomputed 16-bit bit-spread table (read-only)."""
+    return _MORTON_TABLE
+
+
 def morton_encode_array(x, y):
     """Vectorized :func:`morton_encode` over numpy integer arrays."""
     import numpy as np
+
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.size and y.size and (
+        int(x.min()) >= 0 and int(y.min()) >= 0
+        and int(x.max()) < (1 << 16) and int(y.max()) < (1 << 16)
+    ):
+        table = morton_table()
+        return table[x] | (table[y] << np.uint64(1))
 
     def part(n):
         n = n.astype(np.uint64)
@@ -63,4 +93,4 @@ def morton_encode_array(x, y):
             n = (n | (n << np.uint64(shift))) & np.uint64(mask)
         return n
 
-    return part(np.asarray(x)) | (part(np.asarray(y)) << np.uint64(1))
+    return part(x) | (part(y) << np.uint64(1))

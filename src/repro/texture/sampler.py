@@ -139,25 +139,23 @@ class Sampler:
     def bilinear_lines_batch(self, texture: Texture, u, v, level):
         """Vectorized bilinear footprints: cache lines of many samples.
 
-        ``u``, ``v`` are float arrays of any shape and ``level`` an
-        equal-shaped pre-clamped integer mip level; returns an int64
-        array of shape ``u.shape + (4,)`` whose last axis holds the 2x2
-        neighbourhood's cache lines in the same order as
-        :meth:`footprint` visits them.  Only valid for BILINEAR mode.
+        ``u``, ``v`` are float arrays of any shape and ``level`` a
+        broadcastable pre-clamped integer mip level (per-quad levels
+        can stay a column vector — per-level constants are then
+        gathered once per quad rather than once per texel); returns an
+        int64 array of shape ``broadcast(u, level).shape + (4,)`` whose
+        last axis holds the 2x2 neighbourhood's cache lines in the same
+        order as :meth:`footprint` visits them.  Only valid for
+        BILINEAR mode.
         """
         import numpy as np
 
         if self.filter_mode is not FilterMode.BILINEAR:
             raise ConfigError("batch path only supports bilinear filtering")
-        widths = np.array(
-            [m.width for m in texture.mip_levels], dtype=np.int64
-        )
-        heights = np.array(
-            [m.height for m in texture.mip_levels], dtype=np.int64
-        )
+        tables = texture._level_tables()
         level = np.asarray(level, dtype=np.int64)
-        w = widths[level]
-        h = heights[level]
+        w = tables["wmask"][level] + 1
+        h = tables["hmask"][level] + 1
         tx = np.asarray(u) * w - 0.5
         ty = np.asarray(v) * h - 0.5
         x0 = np.floor(tx).astype(np.int64)
@@ -165,8 +163,52 @@ class Sampler:
         # Neighbour order matches the scalar path: (0,0),(1,0),(0,1),(1,1).
         nx = np.stack([x0, x0 + 1, x0, x0 + 1], axis=-1)
         ny = np.stack([y0, y0, y0 + 1, y0 + 1], axis=-1)
-        nlevel = np.broadcast_to(level[..., None], nx.shape)
-        return texture.texel_lines_array(nx, ny, nlevel)
+        return texture.texel_lines_array(nx, ny, level[..., None])
+
+    def quad_footprints_batch(self, texture: Texture, lane_u, lane_v,
+                              texture_samples: int):
+        """Batched per-quad mip LOD + cache-line rows for many quads.
+
+        ``lane_u``/``lane_v`` are ``(Q, 4)`` arrays of the four quad
+        lanes' perspective-correct UVs in footprint order
+        ``(0,0), (1,0), (0,1), (1,1)``.  Returns ``(lods, lines)``:
+        the raw (unclamped) per-quad LOD array and a ``(Q, N)`` int64
+        array of cache lines flattened in scalar visit order —
+        lane-major, then sample, then bilinear neighbour — still
+        containing duplicates, exactly as the scalar path visits them
+        before its first-visit dedup.  Only valid for BILINEAR mode.
+        """
+        import numpy as np
+
+        u00 = lane_u[:, 0]
+        v00 = lane_v[:, 0]
+        sx = np.hypot(
+            (lane_u[:, 1] - u00) * texture.width,
+            (lane_v[:, 1] - v00) * texture.height,
+        )
+        sy = np.hypot(
+            (lane_u[:, 2] - u00) * texture.width,
+            (lane_v[:, 2] - v00) * texture.height,
+        )
+        rho = np.maximum(np.maximum(sx, sy), 1e-12)
+        lods = np.maximum(0.0, np.log2(rho))
+        # The *sampled* level clamps to the mip chain; the reported LOD
+        # stays raw, matching the scalar path.
+        levels = np.minimum(lods, float(texture.max_lod)).astype(np.int64)
+        lane_levels = levels[:, None]
+
+        per_sample = []
+        for sample in range(texture_samples):
+            scale = float(sample + 1)
+            per_sample.append(
+                self.bilinear_lines_batch(
+                    texture, lane_u * scale, lane_v * scale, lane_levels
+                )
+            )
+        # lines[quad, lane, sample, neighbour]; flattening row-major is
+        # exactly the scalar visit order.
+        lines = np.stack(per_sample, axis=2)
+        return lods, lines.reshape(len(lods), -1)
 
     # -- procedural filtering ----------------------------------------------------
 

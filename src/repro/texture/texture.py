@@ -121,6 +121,37 @@ class Texture:
         """Cache-line number of texel (x, y) at mip ``lod``."""
         return self.texel_address(x, y, lod) // LINE_BYTES
 
+    def _level_tables(self):
+        """Cached per-level arrays for :meth:`texel_lines_array`.
+
+        Every dimension is a power of two, so wrapping and block folds
+        reduce to masks and shifts; the per-level byte offset is folded
+        into ``base_off`` so one gather covers it.
+        """
+        tables = getattr(self, "_level_tables_cache", None)
+        if tables is None:
+            import numpy as np
+
+            w = np.array([m.width for m in self.mip_levels], dtype=np.int64)
+            h = np.array(
+                [m.height for m in self.mip_levels], dtype=np.int64
+            )
+            sq = np.minimum(w, h)
+            tables = {
+                "wmask": w - 1,
+                "hmask": h - 1,
+                "sqmask": sq - 1,
+                "sqbits": np.array(
+                    [int(s).bit_length() - 1 for s in sq], dtype=np.int64
+                ),
+                "base_off": self.base_address + np.array(
+                    [m.byte_offset for m in self.mip_levels], dtype=np.int64
+                ),
+            }
+            tables["sq2bits"] = tables["sqbits"] * 2
+            self._level_tables_cache = tables
+        return tables
+
     def texel_lines_array(self, x, y, level) -> "object":
         """Vectorized :meth:`texel_line` over numpy arrays.
 
@@ -131,29 +162,27 @@ class Texture:
         """
         import numpy as np
 
-        from repro.texture.addressing import morton_encode_array
+        from repro.texture.addressing import morton_table
 
-        widths = np.array([m.width for m in self.mip_levels], dtype=np.int64)
-        heights = np.array([m.height for m in self.mip_levels], dtype=np.int64)
-        offsets = np.array(
-            [m.byte_offset for m in self.mip_levels], dtype=np.int64
-        )
+        tables = self._level_tables()
         level = np.asarray(level, dtype=np.int64)
-        w = widths[level]
-        h = heights[level]
-        x = np.asarray(x, dtype=np.int64) % w
-        y = np.asarray(y, dtype=np.int64) % h
-        square = np.minimum(w, h)
+        # Power-of-two wrap: two's-complement AND with (size - 1) is
+        # exactly the non-negative Python ``%``.
+        x = np.asarray(x, dtype=np.int64) & tables["wmask"][level]
+        y = np.asarray(y, dtype=np.int64) & tables["hmask"][level]
         # Fold the long axis into square Morton blocks (as in
-        # texel_address); for square levels the folds are no-ops.
-        fold_x = np.where(w > h, x // square, 0)
-        fold_y = np.where(h > w, y // square, 0)
-        blocks = (fold_x + fold_y) * square * square
-        index = blocks + morton_encode_array(
-            x % square, y % square
-        ).astype(np.int64)
-        address = self.base_address + offsets[level] + index * TEXEL_BYTES
-        return address // LINE_BYTES
+        # texel_address).  The short axis' fold shift is a no-op (its
+        # coordinate is already below the square size), so no per-axis
+        # selection is needed.
+        sqbits = tables["sqbits"][level]
+        blocks = ((x >> sqbits) + (y >> sqbits)) << tables["sq2bits"][level]
+        sqmask = tables["sqmask"][level]
+        table = morton_table()
+        code = (table[x & sqmask] | (table[y & sqmask] << np.uint64(1)))
+        index = blocks + code.astype(np.int64)
+        # address = base + mip offset + index * TEXEL_BYTES, then // 64;
+        # all terms non-negative, so shifts are exact.
+        return (tables["base_off"][level] + (index << 2)) >> 6
 
     # -- procedural values ----------------------------------------------------
 

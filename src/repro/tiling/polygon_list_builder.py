@@ -8,11 +8,57 @@ diagonal triangles do not pollute tiles they never touch.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
 
 from repro.config import GPUConfig
-from repro.raster.setup import ScreenPrimitive
-from repro.tiling.parameter_buffer import ParameterBuffer
+from repro.raster.setup import ScreenBatch, ScreenPrimitive
+from repro.tiling.parameter_buffer import (
+    ATTRIBUTE_RECORD_BYTES,
+    ID_ENTRY_BYTES,
+    PARAMETER_BUFFER_BASE,
+    ParameterBuffer,
+)
+
+
+@dataclass
+class TileBins:
+    """Array-backed Parameter Buffer: per-tile row lists + addresses.
+
+    ``tile_rows`` maps tile coordinates to the indices (into the frame's
+    :class:`~repro.raster.setup.ScreenBatch`) of the primitives binned
+    to that tile, in stream order — the same lists the scalar
+    :class:`~repro.tiling.parameter_buffer.ParameterBuffer` keeps as
+    ``(pid, sub)`` references.  ``list_offsets`` replicates its address
+    layout: attribute records first (sized by the highest primitive id
+    of the *whole frame*), then one contiguous ID-list run per tile in
+    sorted tile-coordinate order.
+    """
+
+    max_pid: int = 0
+    base_address: int = PARAMETER_BUFFER_BASE
+    tile_rows: Dict[Tuple[int, int], np.ndarray] = field(
+        default_factory=dict
+    )
+    list_offsets: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def finalize(self) -> None:
+        """Assign each tile's ID-list offset, as the scalar buffer does."""
+        attr_end = (
+            self.base_address + (self.max_pid + 1) * ATTRIBUTE_RECORD_BYTES
+        )
+        cursor = attr_end
+        for tile in sorted(self.tile_rows):
+            self.list_offsets[tile] = cursor
+            cursor += len(self.tile_rows[tile]) * ID_ENTRY_BYTES
+
+    def rows_for_tile(self, tile: Tuple[int, int]) -> np.ndarray:
+        return self.tile_rows.get(tile, _NO_ROWS)
+
+
+_NO_ROWS = np.zeros(0, dtype=np.int64)
 
 
 class PolygonListBuilder:
@@ -39,6 +85,133 @@ class PolygonListBuilder:
                 buffer.append_to_tile(tile, pid, sub)
                 self.bin_entries += 1
         return buffer
+
+    def build_fast(self, batch: ScreenBatch) -> "TileBins":
+        """Vectorized :meth:`build` over a whole-frame ScreenBatch.
+
+        Produces the same per-tile primitive lists (as row indices into
+        ``batch``, in stream order) and the same Parameter Buffer
+        address layout the scalar path derives, without materializing
+        :class:`ScreenPrimitive` objects.
+        """
+        tile = self.config.tile_size
+        n = len(batch)
+        self.primitives_binned += n
+        bins = TileBins(
+            max_pid=int(batch.pid.max()) if n else 0,
+        )
+        if n == 0:
+            bins.finalize()
+            return bins
+
+        vx, vy = batch.x, batch.y
+        min_x = np.min(vx, axis=1)
+        min_y = np.min(vy, axis=1)
+        max_x = np.max(vx, axis=1)
+        max_y = np.max(vy, axis=1)
+
+        # int(coord) // tile with Python semantics: truncate toward
+        # zero, then floor-divide.  Clamp in float first so huge
+        # coordinates cannot overflow int64 (the clamp bound is far
+        # beyond any tile index, so clamped rows land on the same
+        # [0, tiles-1] tile as the scalar path).
+        bound = float(2 ** 53)
+        tx0 = np.clip(np.trunc(min_x), -bound, bound).astype(np.int64) // tile
+        ty0 = np.clip(np.trunc(min_y), -bound, bound).astype(np.int64) // tile
+        tx1 = np.clip(np.trunc(max_x), -bound, bound).astype(np.int64) // tile
+        ty1 = np.clip(np.trunc(max_y), -bound, bound).astype(np.int64) // tile
+        tx0 = np.maximum(tx0, 0)
+        ty0 = np.maximum(ty0, 0)
+        tx1 = np.minimum(tx1, self.config.tiles_x - 1)
+        ty1 = np.minimum(ty1, self.config.tiles_y - 1)
+
+        alive = ~(
+            (max_x < 0) | (max_y < 0)
+            | (min_x >= self.config.screen_width)
+            | (min_y >= self.config.screen_height)
+        )
+        rows = np.nonzero(alive)[0]
+        if len(rows) == 0:
+            bins.finalize()
+            return bins
+
+        # Candidate (row, tile) pairs: each row expands to its clamped
+        # tile rect, row-major (ty, tx) — the scalar loop's order.
+        width_t = tx1[rows] - tx0[rows] + 1
+        height_t = ty1[rows] - ty0[rows] + 1
+        counts = width_t * height_t
+        total = int(counts.sum())
+        cand_row = np.repeat(rows, counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        local = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        wx = np.repeat(width_t, counts)
+        cand_tx = np.repeat(tx0[rows], counts) + local % wx
+        cand_ty = np.repeat(ty0[rows], counts) + local // wx
+
+        overlap = self._overlap_mask(batch, cand_row, cand_tx, cand_ty)
+        cand_row = cand_row[overlap]
+        cand_tx = cand_tx[overlap]
+        cand_ty = cand_ty[overlap]
+        self.bin_entries += len(cand_row)
+        if len(cand_row) == 0:
+            # Every candidate failed the edge tests (thin triangles
+            # whose bbox clips tiles their edges never enter).
+            bins.finalize()
+            return bins
+
+        # Group by tile, preserving stream order within each tile.
+        tile_key = cand_ty * self.config.tiles_x + cand_tx
+        order = np.lexsort((cand_row, tile_key))
+        tile_key = tile_key[order]
+        cand_row = cand_row[order]
+        cand_tx = cand_tx[order]
+        cand_ty = cand_ty[order]
+        boundaries = np.nonzero(np.diff(tile_key))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(tile_key)]))
+        coords = zip(cand_tx[starts].tolist(), cand_ty[starts].tolist())
+        for coord, start, end in zip(coords, starts.tolist(), ends.tolist()):
+            bins.tile_rows[coord] = cand_row[start:end]
+        bins.finalize()
+        return bins
+
+    def _overlap_mask(
+        self,
+        batch: ScreenBatch,
+        cand_row: np.ndarray,
+        cand_tx: np.ndarray,
+        cand_ty: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ScreenPrimitive.overlaps_rect for candidate pairs.
+
+        The bbox pre-check always passes for candidates drawn from the
+        primitive's own clamped tile rect, so only the three edge
+        half-plane tests remain: a tile is rejected when all four of
+        its corners are strictly outside one edge.
+        """
+        tile = self.config.tile_size
+        x0 = cand_tx.astype(np.float64) * tile
+        y0 = cand_ty.astype(np.float64) * tile
+        x1 = x0 + tile
+        y1 = y0 + tile
+
+        vx = batch.x[cand_row]
+        vy = batch.y[cand_row]
+        sign = np.where(batch.area2[cand_row] > 0, 1.0, -1.0)
+        keep = np.ones(len(cand_row), dtype=bool)
+        for i in range(3):
+            j = (i + 1) % 3
+            ax, ay = vx[:, i], vy[:, i]
+            ex = vx[:, j] - ax
+            ey = vy[:, j] - ay
+            outside = (
+                (sign * (ex * (y0 - ay) - ey * (x0 - ax)) < 0.0)
+                & (sign * (ex * (y0 - ay) - ey * (x1 - ax)) < 0.0)
+                & (sign * (ex * (y1 - ay) - ey * (x0 - ax)) < 0.0)
+                & (sign * (ex * (y1 - ay) - ey * (x1 - ax)) < 0.0)
+            )
+            keep &= ~outside
+        return keep
 
     def overlapped_tiles(
         self, primitive: ScreenPrimitive

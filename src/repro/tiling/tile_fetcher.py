@@ -110,3 +110,22 @@ class TileFetcher:
         """Front-end cycles to fetch one tile's primitive stream."""
         count = buffer.tile_primitive_count(tile)
         return max(count * self.config.tile_fetcher_cycles_per_primitive, 1)
+
+    @staticmethod
+    def fetch_lines_fast(bins, tile: TileCoord, pids) -> List[int]:
+        """:meth:`fetch_lines` over the fast engine's TileBins layout.
+
+        ``pids`` is the tile's primitive-id array in list order.  The
+        ID-list run is identical by construction (same offsets, same
+        entry size); each 64-byte attribute record spans exactly one
+        line at ``base//64 + pid``, which is what the scalar loop's
+        ``(base + pid*64 + 0) // 64`` computes.
+        """
+        count = len(pids)
+        if not count:
+            return []
+        start = bins.list_offsets[tile]
+        end = start + count * ID_ENTRY_BYTES
+        lines = list(range(start // LINE_BYTES, -(-end // LINE_BYTES)))
+        lines.extend((bins.base_address // LINE_BYTES + pids).tolist())
+        return lines

@@ -245,6 +245,7 @@ PAR_SWEEP = DesignSweep(
 def manifest_without_wall_time(report):
     data = report.manifest.as_dict()
     data.pop("wall_time_s")
+    data.pop("phase_seconds")
     return data
 
 
@@ -275,6 +276,16 @@ class TestParallelSweep:
         assert manifest_without_wall_time(serial) == (
             manifest_without_wall_time(parallel)
         )
+
+    def test_parallel_manifest_stamps_phase_timings(
+        self, serial_and_parallel
+    ):
+        """Parallel campaigns attribute wall time to render / pool / replay."""
+        _, parallel = serial_and_parallel
+        phases = parallel.manifest.phase_seconds
+        assert set(phases) == {"render", "pool_startup", "replay"}
+        assert all(seconds >= 0.0 for seconds in phases.values())
+        assert sum(phases.values()) <= parallel.wall_time_s + 1e-6
 
     def test_parallel_resume_skips_completed_rows(
         self, tmp_path, tiny_config

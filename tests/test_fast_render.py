@@ -1,0 +1,255 @@
+"""Differential tests for the fast render front-end.
+
+The render analogue of ``test_fast_engine.py``: the batched pass-1
+engine (``FrameRenderer(engine="fast")``) must produce traces
+bit-identical to the scalar reference path — same ``trace_digest``,
+same :class:`FrameTrace` dataclass equality (which includes the
+:class:`RenderStats` counters) — over the whole game suite, over
+randomized scene recipes and over adversarial hand-built meshes that
+exercise clipping, culling and degenerate geometry.
+
+A golden-digest table additionally pins the trace content itself: a
+change that alters *both* engines in lockstep (and so passes the
+differential tests) still fails here unless the goldens are
+deliberately regenerated.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lint.sanitizer import trace_digest
+from repro.config import GPUConfig
+from repro.errors import ConfigError
+from repro.geometry.mesh import (
+    DrawCommand,
+    Mesh,
+    Scene,
+    ShaderProgram,
+    Vertex,
+)
+from repro.geometry.transform import perspective
+from repro.geometry.vec import Vec2, Vec3
+from repro.sim.driver import ENGINES, FrameRenderer
+from repro.texture.sampler import FilterMode, Sampler
+from repro.texture.texture import TextureAllocator
+from repro.workloads.games import build_game, game_aliases
+from repro.workloads.recipe import BuiltWorkload, SceneRecipe
+
+TINY = GPUConfig(screen_width=128, screen_height=64)
+
+#: Golden fast-engine digests of every suite game at the tiny scale.
+#: Regenerate deliberately (render at 128x64 and print ``trace_digest``)
+#: when the trace format or the pipeline semantics change on purpose.
+GOLDEN_DIGESTS = {
+    "CCS": "60a9a061c3a67d5190a19cdd97288f4a364cde44b7427c2aa8ee57b8f1e4c221",
+    "SoD": "0bdf45fb94925ff8846fa9e25c0b517d3868cc53e8d0c01b44a9c11a188b8cc8",
+    "TRu": "31773f6c4d8c5a415851962ed3794a5bab9da3a0202605fadb8eebb7b45f974c",
+    "SWa": "16813f374648851cf8551a84bd46398723370feca7ed32341b2063eb3669ca09",
+    "CRa": "f8b2d4dc8209dea4865978874a827e15279546bcd0831618a0b1657b48f75b3f",
+    "RoK": "eea0a51e3d460cb12b5932e95aefbfc55e9f38bf54165df22e7b140e8a9839a8",
+    "DDS": "64356f6a490586e47e3d4ef04ada7835d798940d92b2ebf97c7c12fe4f4015a2",
+    "Snp": "4f7c52b1bfeab395ec80657ce0560a047ed3583300cc02bcea1578130e3fd5fe",
+    "Mze": "5432f6a538c30e82d57523dbcb68772e2162806ffb92d4585e0ee65e7cb77a83",
+    "GTr": "45ffc4a3b20a63ed7678d48fde13dc7108c0a14c96f648165ea4f91f30dcbdf7",
+}
+
+
+def render_both(workload, config=TINY):
+    """(fast trace, reference trace) for one workload."""
+    fast, _ = FrameRenderer(config, engine="fast").render(workload)
+    ref, _ = FrameRenderer(config, engine="reference").render(workload)
+    return fast, ref
+
+
+def assert_traces_identical(fast, ref):
+    """Digest AND dataclass equality — stats counters included."""
+    assert trace_digest(fast) == trace_digest(ref)
+    assert fast == ref
+
+
+# -- the game suite ---------------------------------------------------------
+
+
+class TestGameSuiteDifferential:
+    @pytest.mark.parametrize("alias", game_aliases())
+    def test_fast_matches_golden_digest(self, alias):
+        workload = build_game(alias, TINY)
+        trace, _ = FrameRenderer(TINY, engine="fast").render(workload)
+        assert trace_digest(trace) == GOLDEN_DIGESTS[alias]
+
+    @pytest.mark.parametrize("alias", ["CCS", "RoK", "GTr"])
+    def test_fast_matches_reference(self, alias):
+        """2D, 3D and atlas-heavy games, full trace equality."""
+        fast, ref = render_both(build_game(alias, TINY))
+        assert_traces_identical(fast, ref)
+
+    def test_goldens_cover_every_game(self):
+        assert sorted(GOLDEN_DIGESTS) == sorted(game_aliases())
+
+
+# -- randomized scene recipes ----------------------------------------------
+
+
+recipe_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "is_3d": st.booleans(),
+        "depth_complexity": st.floats(min_value=0.5, max_value=4.0),
+        "blend_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "horizontal_clustering": st.floats(min_value=0.0, max_value=1.0),
+        "texture_samples": st.integers(min_value=0, max_value=3),
+        "atlas_grid": st.sampled_from([0, 0, 4]),
+    }
+)
+
+
+class TestRandomScenes:
+    @given(params=recipe_params)
+    @settings(max_examples=20, deadline=None)
+    def test_random_recipe_fast_matches_reference(self, params):
+        recipe = SceneRecipe(
+            name="prop", texture_budget_mib=0.25, **params
+        )
+        workload = recipe.build(TINY)
+        fast, ref = render_both(workload)
+        assert_traces_identical(fast, ref)
+
+
+# -- adversarial hand-built meshes -----------------------------------------
+
+
+finite = st.floats(
+    min_value=-4.0, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+#: z spans the camera plane, so triangles straddle (and cross) the near
+#: plane under the perspective projection — the scalar clip fallback.
+depths = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+vertex_strategy = st.builds(
+    Vertex,
+    position=st.builds(Vec3, finite, finite, depths),
+    uv=st.builds(Vec2, finite, finite),
+)
+
+triangle_strategy = st.lists(vertex_strategy, min_size=3, max_size=3)
+
+draw_flags = st.fixed_dictionaries(
+    {
+        "depth_write": st.booleans(),
+        "blend": st.booleans(),
+        "late_z": st.booleans(),
+    }
+)
+
+
+def build_mesh_workload(triangles, flags_list, samples_list):
+    """A scene of hand-built triangles under a perspective camera."""
+    allocator = TextureAllocator()
+    texture = allocator.create(32, 32, seed=3)
+    scene = Scene(
+        name="prop-mesh",
+        projection_matrix=perspective(1.1, 2.0, 0.5, 10.0),
+    )
+    for triangle, flags, samples in zip(
+        triangles, flags_list, samples_list
+    ):
+        mesh = Mesh(vertices=list(triangle), indices=[0, 1, 2])
+        scene.add(
+            DrawCommand(
+                mesh=mesh,
+                texture_id=texture.texture_id,
+                shader=ShaderProgram(
+                    alu_cycles=9, texture_samples=samples
+                ),
+                **flags,
+            )
+        )
+    return BuiltWorkload(scene=scene, allocator=allocator)
+
+
+class TestRandomMeshes:
+    @given(
+        triangles=st.lists(triangle_strategy, min_size=1, max_size=6),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_meshes_fast_matches_reference(self, triangles, data):
+        """Clipped, culled, degenerate and offscreen triangles agree.
+
+        Depth coordinates straddle the near plane, so the batch takes
+        every branch: trivially-kept rows, trivially-rejected rows and
+        rows routed through the scalar Sutherland-Hodgman fallback.
+        """
+        flags_list = [
+            data.draw(draw_flags, label=f"flags[{i}]")
+            for i in range(len(triangles))
+        ]
+        samples_list = [
+            data.draw(
+                st.integers(min_value=0, max_value=2),
+                label=f"samples[{i}]",
+            )
+            for i in range(len(triangles))
+        ]
+        workload = build_mesh_workload(triangles, flags_list, samples_list)
+        fast, ref = render_both(workload)
+        assert_traces_identical(fast, ref)
+
+    def test_degenerate_and_behind_camera_triangles(self):
+        """Deterministic worst cases: zero area, w <= 0, offscreen."""
+        def tri(*pts):
+            return [
+                Vertex(position=Vec3(*p), uv=Vec2(0.0, 0.0)) for p in pts
+            ]
+        triangles = [
+            tri((0.0, 0.0, -1.0), (0.0, 0.0, -1.0), (0.0, 0.0, -1.0)),
+            tri((-1.0, -1.0, 2.0), (1.0, -1.0, 2.0), (0.0, 1.0, 2.0)),
+            tri((-1.0, -1.0, -1.0), (1.0, -1.0, -1.0), (0.0, 1.0, 2.0)),
+            tri((50.0, 50.0, -1.0), (51.0, 50.0, -1.0), (50.0, 51.0, -1.0)),
+        ]
+        n = len(triangles)
+        flags = [
+            {"depth_write": True, "blend": False, "late_z": False}
+        ] * n
+        workload = build_mesh_workload(triangles, flags, [1] * n)
+        fast, ref = render_both(workload)
+        assert_traces_identical(fast, ref)
+
+
+# -- engine selection -------------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_engines_tuple(self):
+        assert ENGINES == ("fast", "reference")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown render engine"):
+            FrameRenderer(TINY, engine="warp-speed")
+
+    def test_default_engine_is_fast(self):
+        assert FrameRenderer(TINY).engine == "fast"
+
+    def test_with_image_falls_back_to_reference(self, tiny_workload):
+        """Image output is reference-only; the trace must not change."""
+        fast = FrameRenderer(TINY, engine="fast")
+        with_image, image = fast.render(tiny_workload, with_image=True)
+        without, none = fast.render(tiny_workload)
+        assert image is not None and none is None
+        assert_traces_identical(without, with_image)
+
+    def test_non_bilinear_filter_falls_back(self, tiny_workload):
+        """Trilinear sampling has no batch path; both engines agree."""
+        sampler = Sampler(filter_mode=FilterMode.TRILINEAR)
+        fast, _ = FrameRenderer(
+            TINY, sampler=sampler, engine="fast"
+        ).render(tiny_workload)
+        ref, _ = FrameRenderer(
+            TINY, sampler=sampler, engine="reference"
+        ).render(tiny_workload)
+        assert_traces_identical(fast, ref)

@@ -2,11 +2,19 @@
 
 Measures the throughput of the pass-1 render front-end and the pass-2
 replay engine (fast vs reference for both) over the game suite, plus
-serial-vs-parallel sweep wall time, and writes the results as
+serial-vs-parallel sweep wall time and the memory/overlap profile of
+the three tile-stream drivers, and writes the results as
 ``BENCH_replay.json`` at the repository root.  This is the evidence for
 the fast-engine speedup targets and the CI perf-smoke regression gate.
 The render leg also cross-checks the two engines' trace digests per
 game, so the perf evidence doubles as a bit-exactness smoke test.
+
+The streaming leg spawns one subprocess per driver (``ru_maxrss`` is
+monotonic per process, so peak RSS cannot be measured twice in one
+interpreter) and stamps end-to-end seconds, peak RSS, and a digest of
+the :class:`~repro.sim.replay.RunResult` for the largest suite game.
+``--check`` then gates on the batch-vs-streaming RSS ratio and on
+result equality across drivers.
 
 Usage::
 
@@ -36,10 +44,14 @@ slowdowns don't).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
 import json
 import os
 import platform
+import resource
 import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -65,10 +77,22 @@ from repro.sim.driver import ENGINES as RENDER_ENGINES  # noqa: E402
 from repro.sim.driver import FrameRenderer  # noqa: E402
 from repro.sim.experiment import ExperimentRunner  # noqa: E402
 from repro.sim.replay import ENGINES, TraceReplayer  # noqa: E402
+from repro.sim.stream import STREAM_DRIVERS  # noqa: E402
 from repro.sim.sweep import DesignSweep  # noqa: E402
 from repro.workloads.games import GAMES, build_game, game_aliases  # noqa: E402
 
 DESIGNS = (BASELINE, DTEXL_BEST)
+
+#: Acceptance target: streaming's peak-RSS growth must stay at least
+#: this many times below batch's on the largest game.  Widened by
+#: REPRO_BENCH_REGRESSION_FACTOR like the throughput gates (factor 2.0,
+#: the default, keeps the full 2x target; factor 4.0 halves it).
+RSS_RATIO_TARGET = 2.0
+
+#: Streaming's end-to-end seconds must stay within this fraction of
+#: batch's (same work, different interleaving).  Also widened by the
+#: regression factor.
+TIME_TOLERANCE = 0.10
 
 
 def bench_config() -> GPUConfig:
@@ -169,6 +193,110 @@ def time_sweep(config, games, jobs: int, store) -> float:
     return time.perf_counter() - t0
 
 
+def result_digest(result) -> str:
+    """Stable cross-process fingerprint of one :class:`RunResult`.
+
+    The drivers promise bit-identical results, so a canonical-JSON hash
+    of the dataclass tree is enough — any float that differs in the
+    last ulp changes the digest.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def _self_peak_rss_kb() -> int:
+    """This process's peak RSS in KiB.
+
+    ``ru_maxrss`` survives fork+exec on Linux, so a probe spawned from
+    the (by then large) bench process would inherit the parent's peak
+    as its floor.  ``VmHWM`` tracks the *current* address space, which
+    exec recreates, so it is read first; ``ru_maxrss`` is the fallback
+    for hosts without procfs.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return kb // 1024 if sys.platform == "darwin" else kb
+
+
+def run_probe(driver: str, game: str) -> int:
+    """Child-process body: one render+replay under ``driver``.
+
+    Prints a JSON record of seconds, peak RSS, and the result digest.
+    RSS is sampled as the max of self and reaped children so the
+    overlap driver's render worker is charged to its driver, and the
+    baseline snapshot (taken after imports and config setup) lets the
+    parent report working-set *growth* rather than interpreter
+    overhead.
+    """
+    config = bench_config()
+    baseline_kb = _self_peak_rss_kb()
+    t0 = time.perf_counter()
+    if driver == "batch":
+        workload = build_game(game, config)
+        trace, _ = FrameRenderer(config).render(workload)
+        result = TraceReplayer(config).run(trace, DTEXL_BEST)
+    else:
+        runner = ExperimentRunner(config, games=[game], stream=driver)
+        result = runner.run(game, DTEXL_BEST)
+    seconds = time.perf_counter() - t0
+    peak_kb = max(
+        _self_peak_rss_kb(),
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    print(json.dumps({
+        "seconds": round(seconds, 4),
+        "peak_rss_kb": peak_kb,
+        "baseline_rss_kb": baseline_kb,
+        "delta_rss_kb": peak_kb - baseline_kb,
+        "digest": result_digest(result),
+    }))
+    return 0
+
+
+def time_streams(games, traces) -> dict:
+    """Per-driver memory/time profile on the largest suite game.
+
+    One subprocess per driver: ``ru_maxrss`` never decreases within a
+    process, so the second driver measured in-process would inherit the
+    first one's peak.  The largest game (by traced quads) is where the
+    full-``FrameTrace`` working set hurts most, hence where the
+    bounded-memory claim is tested.
+    """
+    largest = max(games, key=lambda g: traces[g].total_quads)
+    drivers = {}
+    for driver in STREAM_DRIVERS:
+        proc = subprocess.run(
+            [sys.executable, __file__,
+             "--probe", driver, "--probe-game", largest],
+            capture_output=True, text=True, check=True,
+        )
+        drivers[driver] = json.loads(proc.stdout.splitlines()[-1])
+        print(f"stream {driver:9s}: {drivers[driver]['seconds']:7.3f} s  "
+              f"peak {drivers[driver]['peak_rss_kb'] / 1024:6.1f} MiB  "
+              f"(+{drivers[driver]['delta_rss_kb'] / 1024:.1f} MiB)")
+    batch, streaming = drivers["batch"], drivers["streaming"]
+    return {
+        "game": largest,
+        "game_quads": traces[largest].total_quads,
+        "drivers": drivers,
+        "results_match": len({d["digest"] for d in drivers.values()}) == 1,
+        "rss_ratio_batch_over_streaming": round(
+            batch["delta_rss_kb"] / max(1, streaming["delta_rss_kb"]), 3
+        ),
+        "time_ratio_streaming_over_batch": round(
+            streaming["seconds"] / batch["seconds"], 3
+        ),
+    }
+
+
 def run_bench() -> dict:
     config = bench_config()
     games = bench_games()
@@ -223,6 +351,11 @@ def run_bench() -> dict:
         shutil.rmtree(store_dir, ignore_errors=True)
     print(f"sweep serial {serial_s:.3f} s, jobs={jobs} {parallel_s:.3f} s")
 
+    streaming = time_streams(games, traces)
+    print(f"stream drivers: results_match={streaming['results_match']}, "
+          f"batch/streaming RSS growth "
+          f"{streaming['rss_ratio_batch_over_streaming']:.2f}x")
+
     return {
         "scale": f"{config.screen_width}x{config.screen_height}",
         "games": list(games),
@@ -250,6 +383,7 @@ def run_bench() -> dict:
             "parallel_seconds": round(parallel_s, 4),
             "parallel_scaling": round(serial_s / parallel_s, 3),
         },
+        "streaming": streaming,
     }
 
 
@@ -281,8 +415,45 @@ def check_regression(result: dict, baseline_path: Path) -> int:
         print("FAIL: fast and reference render engines produced "
               "different trace digests", file=sys.stderr)
         failed = 1
+    failed |= check_streaming(result)
     if not failed:
         print("regression gates passed")
+    return failed
+
+
+def check_streaming(result: dict) -> int:
+    """Gate the stream drivers: equal results, bounded memory, no slowdown.
+
+    Result equality is a hard failure — a driver that drifts is a
+    correctness bug.  The RSS and time gates scale with
+    ``REPRO_BENCH_REGRESSION_FACTOR`` (at the default 2.0 they demand
+    the full 2x memory win and 10% time window; a noisy runner can
+    widen both without editing the bench).
+    """
+    streaming = result.get("streaming")
+    if not streaming:
+        return 0
+    failed = 0
+    if not streaming["results_match"]:
+        print("FAIL: stream drivers produced different RunResult digests",
+              file=sys.stderr)
+        failed = 1
+    rss_floor = RSS_RATIO_TARGET * 2.0 / REGRESSION_FACTOR
+    rss_ratio = streaming["rss_ratio_batch_over_streaming"]
+    print(f"streaming RSS gate: batch/streaming growth {rss_ratio:.2f}x "
+          f"(floor {rss_floor:.2f}x)")
+    if rss_ratio < rss_floor:
+        print(f"FAIL: streaming's peak-RSS growth is only {rss_ratio:.2f}x "
+              f"below batch's (need {rss_floor:.2f}x)", file=sys.stderr)
+        failed = 1
+    time_ceiling = 1.0 + TIME_TOLERANCE * REGRESSION_FACTOR / 2.0
+    time_ratio = streaming["time_ratio_streaming_over_batch"]
+    print(f"streaming time gate: streaming/batch {time_ratio:.2f}x "
+          f"(ceiling {time_ceiling:.2f}x)")
+    if time_ratio > time_ceiling:
+        print(f"FAIL: streaming is {time_ratio:.2f}x batch's end-to-end "
+              f"time (ceiling {time_ceiling:.2f}x)", file=sys.stderr)
+        failed = 1
     return failed
 
 
@@ -297,7 +468,20 @@ def main(argv=None) -> int:
         "-o", "--output", default=str(REPO_ROOT / OUTPUT_NAME),
         help=f"output path (default: {OUTPUT_NAME} at the repo root)",
     )
+    parser.add_argument(
+        "--probe", choices=STREAM_DRIVERS, default=None,
+        help="internal: run one driver's RSS/time probe and print JSON",
+    )
+    parser.add_argument(
+        "--probe-game", default=None,
+        help="game alias for --probe (required with it)",
+    )
     args = parser.parse_args(argv)
+
+    if args.probe:
+        if not args.probe_game:
+            parser.error("--probe requires --probe-game")
+        return run_probe(args.probe, args.probe_game)
 
     result = run_bench()
     output = Path(args.output)

@@ -5,7 +5,7 @@ Texture-Locality scheduler (CG-square).  The paper's point: the locality
 scheduler's thread distribution is far more imbalanced.
 """
 
-from repro.analysis.metrics import per_tile_imbalance
+from repro.stats import per_tile_imbalance
 from repro.analysis.tables import format_table
 from repro.core.dtexl import BASELINE, PAPER_CONFIGURATIONS
 

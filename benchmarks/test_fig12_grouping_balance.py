@@ -6,7 +6,7 @@ on load balance (paper: CG-xrect ~6x, CG-yrect ~10x the deviation of
 FG-xshift2).
 """
 
-from repro.analysis.metrics import per_tile_imbalance
+from repro.stats import per_tile_imbalance
 from repro.analysis.tables import format_table
 from repro.core.quad_grouping import COARSE_GRAINED, FINE_GRAINED
 

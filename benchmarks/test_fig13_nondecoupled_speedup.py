@@ -6,7 +6,7 @@ cut, the coarse groupings deliver no speedup — the caching win is
 offset by load imbalance.
 """
 
-from repro.analysis.metrics import geometric_mean
+from repro.stats import geometric_mean
 from repro.analysis.tables import format_table
 from repro.core.dtexl import PAPER_CONFIGURATIONS
 

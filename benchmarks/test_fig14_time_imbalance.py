@@ -6,7 +6,7 @@ deviation in SC time to finish the tile (FG averages ~5%; CG reaches
 150% on TRu).  We print the violin summary statistics per game.
 """
 
-from repro.analysis.metrics import (
+from repro.stats import (
     per_tile_imbalance_distribution,
     violin_summary,
 )

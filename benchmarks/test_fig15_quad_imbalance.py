@@ -6,7 +6,7 @@ one of the two drivers of the execution-time deviation (the other being
 per-quad workload intensity).
 """
 
-from repro.analysis.metrics import (
+from repro.stats import (
     per_tile_imbalance_distribution,
     violin_summary,
 )

@@ -6,7 +6,7 @@ Sorder-const / Sorder-flp ~46.8%; together the mappings close ~80% of
 the gap between the baseline and the single-SC/4x-L1 upper bound.
 """
 
-from repro.analysis.metrics import percent_decrease
+from repro.stats import percent_decrease
 from repro.analysis.tables import format_table
 from repro.core.assignment_stats import schedule_stats
 from repro.core.dtexl import FIG8_MAPPING_NAMES, PAPER_CONFIGURATIONS

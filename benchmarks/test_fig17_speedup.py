@@ -6,7 +6,7 @@ Paper shape: DTexL ~1.2x average (up to ~1.4x on GTr); FG+decoupled
 what decoupling alone recovers.
 """
 
-from repro.analysis.metrics import geometric_mean
+from repro.stats import geometric_mean
 from repro.analysis.tables import format_table
 from repro.core.dtexl import PAPER_CONFIGURATIONS
 

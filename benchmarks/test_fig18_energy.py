@@ -6,7 +6,7 @@ FG+decoupled; energy savings track the Figure 17 speedups because a
 large share of GPU energy is time-proportional.
 """
 
-from repro.analysis.metrics import percent_decrease
+from repro.stats import percent_decrease
 from repro.analysis.tables import format_table
 from repro.core.dtexl import PAPER_CONFIGURATIONS
 

@@ -15,7 +15,7 @@ Usage::
 import sys
 
 from repro import DTexLConfig, GPUConfig, build_game
-from repro.analysis.metrics import per_tile_imbalance
+from repro.stats import per_tile_imbalance
 from repro.analysis.tables import format_table
 from repro.core.quad_grouping import GROUPINGS
 from repro.core.subtile_assignment import ASSIGNMENTS

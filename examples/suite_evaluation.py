@@ -17,7 +17,7 @@ import sys
 import time
 
 from repro import GPUConfig
-from repro.analysis.metrics import geometric_mean, percent_decrease
+from repro.stats import geometric_mean, percent_decrease
 from repro.analysis.tables import format_table
 from repro.core.dtexl import PAPER_CONFIGURATIONS
 from repro.sim import ExperimentRunner

@@ -1,6 +1,6 @@
 """Metrics and reporting helpers for the paper's figures and tables."""
 
-from repro.analysis.metrics import (
+from repro.stats import (
     geometric_mean,
     mean_deviation,
     per_tile_imbalance,

@@ -39,15 +39,13 @@ invariant and listing the rest.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import GPUConfig
 from repro.core.dtexl import DTexLConfig
 from repro.errors import InvariantViolationError, TraceIntegrityError
-from repro.sim.checkpoint import config_fingerprint, verify_trace
+from repro.sim.checkpoint import trace_digest, verify_trace  # noqa: F401 — trace_digest re-exported; it moved into sim so the tile-granular checkpoints can chain to it without an analysis import
 from repro.sim.driver import FrameTrace
 from repro.sim.replay import RunResult
 
@@ -61,44 +59,6 @@ class Violation:
 
     def __str__(self) -> str:
         return f"[{self.invariant}] {self.message}"
-
-
-def trace_digest(trace: FrameTrace) -> str:
-    """Canonical content hash of a frame trace.
-
-    Unlike the pickle-payload hash of
-    :class:`~repro.sim.checkpoint.TraceCheckpointStore`, this digest is
-    a function of the trace's *semantic* content (tiles sorted, quads in
-    stream order, every replay-relevant field), so two structurally
-    equal traces hash equally regardless of how they were serialized.
-    """
-    payload = {
-        "config": config_fingerprint(trace.config),
-        "vertex_lines": list(trace.vertex_lines),
-        "tiles": [
-            {
-                "tile": list(tile),
-                "fetch_lines": list(entry.fetch_lines),
-                "fetch_cycles": entry.fetch_cycles,
-                "quads": [
-                    [
-                        quad.qx, quad.qy, quad.primitive_id,
-                        quad.texture_id, list(quad.coverage),
-                        quad.alu_cycles, list(quad.texture_lines),
-                        repr(quad.lod), quad.blend,
-                    ]
-                    for quad in entry.quads
-                ],
-            }
-            for tile, entry in sorted(trace.tiles.items())
-        ],
-        "stats": {
-            "num_quads": trace.stats.num_quads,
-            "pixels_shaded": trace.stats.pixels_shaded,
-        },
-    }
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("ascii")).hexdigest()
 
 
 class TraceSanitizer:

@@ -106,7 +106,7 @@ def render_imbalance_heatmap(
 
     ``per_tile_values[i]`` are the per-SC values of ``tiles[i]``.
     """
-    from repro.analysis.metrics import mean_deviation
+    from repro.stats import mean_deviation
 
     ramp = " .:-=+*#%@"
     deviations = {

@@ -41,6 +41,7 @@ from repro.core.subtile_assignment import ASSIGNMENTS
 from repro.core.tile_order import TILE_ORDERS
 from repro.errors import ConfigError, ReproError, UnknownWorkloadError
 from repro.sim import ExperimentRunner, FrameRenderer, TraceReplayer
+from repro.sim.stream import STREAM_DRIVERS
 from repro.sim.export import run_result_to_dict, suite_result_to_dict
 from repro.workloads import GAMES, build_game
 
@@ -161,20 +162,29 @@ def _print_replay_profile(profiler, render_s: float, replay_s: float) -> None:
 def cmd_replay(args) -> int:
     config = args.screen
     designs = _designs(args.design)
+    stream = getattr(args, "stream", "batch")
     profiling = getattr(args, "profile", False)
     if profiling:
         import time
         t0 = time.perf_counter()
-    workload = build_game(args.game, config)
-    trace, _ = FrameRenderer(config).render(workload)
     replayer = TraceReplayer(config)
+    if stream == "batch":
+        workload = build_game(args.game, config)
+        trace, _ = FrameRenderer(config).render(workload)
     if profiling:
         import cProfile
         render_s = time.perf_counter() - t0
         profiler = cProfile.Profile()
         t1 = time.perf_counter()
         profiler.enable()
-    results = [replayer.run(trace, design) for design in designs]
+    if stream == "batch":
+        results = [replayer.run(trace, design) for design in designs]
+    else:
+        # Streamed dataflows render inside the replay loop, so pass 1
+        # is part of the profiled phase and each design point pays its
+        # own (bounded-memory) render.
+        runner = ExperimentRunner(config, games=[args.game], stream=stream)
+        results = [runner.run(args.game, design) for design in designs]
     if profiling:
         profiler.disable()
         replay_s = time.perf_counter() - t1
@@ -252,6 +262,7 @@ def cmd_sweep(args) -> int:
         args.screen,
         games=_games(args.games),
         budget=ReplayBudget(max_quads=args.budget),
+        stream=args.stream,
     )
     sweep = DesignSweep(
         groupings=args.grouping,
@@ -726,6 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-phase wall times (render / replay / timing "
              "model) and the hottest profile entries",
     )
+    p_replay.add_argument(
+        "--stream", choices=STREAM_DRIVERS, default="batch",
+        help="tile dataflow: batch materializes the whole trace, "
+             "streaming renders/replays/drops one tile group at a time "
+             "(bounded memory), overlap renders ahead in a worker "
+             "process; results are bit-identical across all three",
+    )
     _add_common(p_replay)
 
     p_suite = sub.add_parser("suite", help="whole-suite comparison")
@@ -783,6 +801,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task deadline for parallel workers: a task past it is "
              "killed and retried, then recorded as a failure (default: "
              "no deadline)",
+    )
+    p_sweep.add_argument(
+        "--stream", choices=STREAM_DRIVERS, default="batch",
+        help="tile dataflow for each replay (see `repro replay "
+             "--help`); with --checkpoint-dir the streaming driver "
+             "caches per-tile chunks so later design points skip the "
+             "render; rows are bit-identical across drivers",
     )
     _add_common(p_sweep)
 

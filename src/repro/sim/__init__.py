@@ -8,8 +8,22 @@ evaluation sweeps cheap.
 
 from repro.sim.driver import FrameRenderer, FrameTrace, RenderStats, TileTraceEntry
 from repro.sim.replay import RunResult, TraceReplayer
+from repro.sim.stream import (
+    STREAM_DRIVERS,
+    BatchTileStream,
+    FrameSource,
+    OverlappedTileStream,
+    StreamingTileStream,
+    TileWorkUnit,
+)
 from repro.sim.experiment import ExperimentRunner, SuiteResult
-from repro.sim.checkpoint import TraceCheckpointStore, trace_key, verify_trace
+from repro.sim.checkpoint import (
+    TileChunkStore,
+    TraceCheckpointStore,
+    trace_digest,
+    trace_key,
+    verify_trace,
+)
 from repro.sim.resilience import (
     FailureRecord,
     ReplayBudget,
@@ -22,8 +36,11 @@ from repro.sim.chaos import ChaosReport, ChaosTrial, run_chaos
 __all__ = [
     "FrameRenderer", "FrameTrace", "RenderStats", "TileTraceEntry",
     "TraceReplayer", "RunResult",
+    "STREAM_DRIVERS", "BatchTileStream", "FrameSource",
+    "OverlappedTileStream", "StreamingTileStream", "TileWorkUnit",
     "ExperimentRunner", "SuiteResult",
-    "TraceCheckpointStore", "trace_key", "verify_trace",
+    "TileChunkStore", "TraceCheckpointStore",
+    "trace_digest", "trace_key", "verify_trace",
     "FailureRecord", "ReplayBudget", "RetryPolicy", "RunManifest",
     "FaultPlan", "FaultSpec", "fault_point",
     "ChaosReport", "ChaosTrial", "run_chaos",

@@ -48,15 +48,27 @@ __all__ = [
 #: One small, fast game keeps a 20-trial campaign in CI-smoke territory.
 DEFAULT_CHAOS_GAMES: Tuple[str, ...] = ("SWa",)
 
-#: Parent-process faults every trial may sample.
+#: Parent-process faults every trial may sample.  The chunk sites only
+#: fire when the trial draws the streaming dataflow (batch trials never
+#: reach them, which is harmless — the spec just never fires).
 _PARENT_FAULTS: Tuple[Tuple[str, str], ...] = (
     (faults.SITE_CHECKPOINT_SAVE, faults.KIND_TORN_WRITE),
     (faults.SITE_CHECKPOINT_LOAD, faults.KIND_TRUNCATE),
     (faults.SITE_CHECKPOINT_LOAD, faults.KIND_CORRUPT),
+    (faults.SITE_CHUNK_SAVE, faults.KIND_TORN_WRITE),
+    (faults.SITE_CHUNK_LOAD, faults.KIND_TRUNCATE),
+    (faults.SITE_CHUNK_LOAD, faults.KIND_CORRUPT),
     (faults.SITE_JOURNAL_RECORD, faults.KIND_PARTIAL_LINE),
     (faults.SITE_JOURNAL_RECORD, faults.KIND_KILL),
     (faults.SITE_REPLAY, faults.KIND_TRANSIENT),
 )
+
+#: Stream drivers chaos trials alternate between: the batch spec and
+#: the tile-granular streaming path whose chunk checkpoints must heal
+#: kills and corruption landing *inside* a frame.  Overlap is covered
+#: by the targeted crash/timeout tests instead — its worker adds a
+#: second process per replay, too slow for a 20-trial campaign.
+_TRIAL_STREAMS: Tuple[str, ...] = ("batch", "streaming")
 
 #: Worker-process faults, only meaningful when the trial runs jobs > 1.
 _WORKER_FAULTS: Tuple[Tuple[str, str], ...] = (
@@ -109,6 +121,7 @@ class ChaosTrial:
     seed: int
     jobs: int
     plan: str
+    stream: str = "batch"
     killed: bool = False
     fires: int = 0
     problems: List[str] = field(default_factory=list)
@@ -124,6 +137,7 @@ class ChaosTrial:
             "seed": self.seed,
             "jobs": self.jobs,
             "plan": self.plan,
+            "stream": self.stream,
             "killed": self.killed,
             "fires": self.fires,
             "problems": list(self.problems),
@@ -267,10 +281,11 @@ def run_chaos(
         trial_seed = master.randrange(2 ** 31)
         trial_rng = random.Random(trial_seed)
         trial_jobs = trial_rng.choice([1, jobs]) if jobs > 1 else 1
+        trial_stream = trial_rng.choice(_TRIAL_STREAMS)
         plan = sample_plan(trial_seed, trial_jobs, hang_seconds)
         trial = ChaosTrial(
             index=index, seed=trial_seed, jobs=trial_jobs,
-            plan=plan.describe(),
+            plan=plan.describe(), stream=trial_stream,
         )
         trial_start = time.monotonic()  # replint: disable=wall-clock -- chaos trial wall time for reporting, never a simulated quantity
         work_dir = tempfile.mkdtemp(prefix="repro-chaos-trial-")
@@ -279,7 +294,9 @@ def run_chaos(
             with faults.armed(plan):
                 try:
                     first = sweep.run(
-                        ExperimentRunner(config, games=games),
+                        ExperimentRunner(
+                            config, games=games, stream=trial_stream
+                        ),
                         checkpoint_dir=work_dir,
                         retry_policy=retry_policy,
                         jobs=trial_jobs,
@@ -298,14 +315,18 @@ def run_chaos(
                         f"armed run: unhandled "
                         f"{type(error).__name__}: {error}"
                     )
-            # Resume what survived on disk.  Only checkpoint-load
-            # corruption stays armed: it is the one fault a restarted
-            # campaign can still encounter, and it must self-heal by
-            # re-rendering.
-            resume_plan = plan.for_sites({faults.SITE_CHECKPOINT_LOAD})
+            # Resume what survived on disk.  Only checkpoint/chunk-load
+            # corruption stays armed: those are the faults a restarted
+            # campaign can still encounter, and both must self-heal by
+            # re-rendering (the whole frame, or the one torn tile).
+            resume_plan = plan.for_sites(
+                {faults.SITE_CHECKPOINT_LOAD, faults.SITE_CHUNK_LOAD}
+            )
             with faults.armed(resume_plan if resume_plan.specs else None):
                 resumed = sweep.run(
-                    ExperimentRunner(config, games=games),
+                    ExperimentRunner(
+                        config, games=games, stream=trial_stream
+                    ),
                     checkpoint_dir=work_dir,
                     resume=True,
                     retry_policy=retry_policy,

@@ -16,6 +16,15 @@ This module makes pass-1 results durable:
 * :class:`SweepProgress` — an append-only journal of completed sweep
   rows, keyed by a campaign hash, so a re-run with ``--resume`` skips
   every design point that already finished.
+* :func:`trace_digest` / :class:`TraceDigestBuilder` — the canonical
+  *semantic* content hash of a frame trace, built as a hash chain over
+  per-tile digests (sorted tile order) so it can be accumulated one
+  tile at a time without ever materializing the frame.
+* :class:`TileChunkStore` — the tile-granular checkpoint the streaming
+  dataflow uses: one verified chunk per tile coordinate plus a frame
+  meta record whose hash chain terminates in the trace digest, so a
+  chunk set reassembles (and cross-checks) to exactly the trace the
+  batch path would have checkpointed.
 
 Checkpoint file layout (version 1): one ASCII JSON header line holding
 the key, payload SHA-256 and summary counts, a newline, then the raw
@@ -34,11 +43,12 @@ import pickle
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import GPUConfig
+from repro.core.tile_order import TileCoord
 from repro.errors import TraceIntegrityError
-from repro.sim.driver import FrameTrace
+from repro.sim.driver import FrameTrace, TileTraceEntry
 from repro.sim.faults import (
     InjectedKill,
     KIND_CORRUPT,
@@ -47,6 +57,8 @@ from repro.sim.faults import (
     KIND_TRUNCATE,
     SITE_CHECKPOINT_LOAD,
     SITE_CHECKPOINT_SAVE,
+    SITE_CHUNK_LOAD,
+    SITE_CHUNK_SAVE,
     SITE_JOURNAL_RECORD,
     fault_point,
 )
@@ -160,6 +172,103 @@ def verify_trace(trace: FrameTrace) -> None:
         )
 
 
+def tile_digest(tile: TileCoord, entry: TileTraceEntry) -> str:
+    """Semantic content hash of one tile's replayable work.
+
+    Covers every replay-relevant field in canonical form (quads in
+    stream order, LODs by ``repr`` so float identity is exact), so two
+    structurally equal entries hash equally regardless of how — or in
+    which process — they were produced.
+    """
+    payload = {
+        "tile": list(tile),
+        "fetch_lines": list(entry.fetch_lines),
+        "fetch_cycles": entry.fetch_cycles,
+        "quads": [
+            [
+                quad.qx, quad.qy, quad.primitive_id,
+                quad.texture_id, list(quad.coverage),
+                quad.alu_cycles, list(quad.texture_lines),
+                repr(quad.lod), quad.blend,
+            ]
+            for quad in entry.quads
+        ],
+    }
+    text = _canonical_json(payload)
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+class TraceDigestBuilder:
+    """Accumulates a trace digest one tile at a time, in any order.
+
+    The digest is a hash chain: a frame prefix (config fingerprint +
+    vertex lines), then every tile's :func:`tile_digest` folded in
+    *sorted tile order*, then the replay-relevant stats totals.  Because
+    per-tile digests are collected unordered and only chained at
+    :meth:`finish`, a streaming producer can feed tiles in the replay's
+    traversal order while still arriving at the exact digest a
+    materialized trace hashes to.
+    """
+
+    def __init__(self, config: GPUConfig, vertex_lines: Sequence[int]):
+        prefix = _canonical_json({
+            "config": config_fingerprint(config),
+            "vertex_lines": list(vertex_lines),
+        })
+        self._prefix = hashlib.sha256(prefix.encode("ascii")).hexdigest()
+        self._tiles: Dict[TileCoord, str] = {}
+
+    def add(self, tile: TileCoord, entry: TileTraceEntry) -> str:
+        """Fold one tile in; returns (and records) its tile digest."""
+        digest = tile_digest(tile, entry)
+        self._tiles[tuple(tile)] = digest
+        return digest
+
+    def add_digest(self, tile: TileCoord, digest: str) -> None:
+        """Fold in a tile whose digest is already known (verified chunk)."""
+        self._tiles[tuple(tile)] = digest
+
+    @property
+    def tile_digests(self) -> Dict[TileCoord, str]:
+        return dict(self._tiles)
+
+    def finish(self, num_quads: int, pixels_shaded: int) -> str:
+        """The frame digest: chain over sorted tiles, stats sealed last.
+
+        ``num_quads`` / ``pixels_shaded`` are order-independent sums
+        over the per-tile quad streams, so a streaming producer can
+        accumulate them while tiles flow past and still seal the same
+        digest as :func:`trace_digest` over the materialized trace.
+        """
+        chain = self._prefix
+        for tile in sorted(self._tiles):
+            chain = hashlib.sha256(
+                (chain + self._tiles[tile]).encode("ascii")
+            ).hexdigest()
+        stats = _canonical_json({
+            "num_quads": num_quads,
+            "pixels_shaded": pixels_shaded,
+        })
+        return hashlib.sha256((chain + stats).encode("ascii")).hexdigest()
+
+
+def trace_digest(trace: FrameTrace) -> str:
+    """Canonical content hash of a frame trace.
+
+    Unlike the pickle-payload hash of :class:`TraceCheckpointStore`,
+    this digest is a function of the trace's *semantic* content (tiles
+    sorted, quads in stream order, every replay-relevant field), so two
+    structurally equal traces hash equally regardless of how they were
+    serialized.  Built with :class:`TraceDigestBuilder`, which is what
+    lets the streaming dataflow compute the same digest without ever
+    holding the whole frame.
+    """
+    builder = TraceDigestBuilder(trace.config, trace.vertex_lines)
+    for tile, entry in trace.tiles.items():
+        builder.add(tile, entry)
+    return builder.finish(trace.stats.num_quads, trace.stats.pixels_shaded)
+
+
 class TraceCheckpointStore:
     """Disk-backed, integrity-checked store of frame traces."""
 
@@ -265,6 +374,255 @@ class TraceCheckpointStore:
             )
         verify_trace(trace)
         return trace
+
+
+class ChunkedFrameDigest:
+    """Running digest of one chunked frame, sealed after full traversal.
+
+    Created by :meth:`TileChunkStore.begin_frame`; the streaming driver
+    feeds every tile (rendered or chunk-loaded) through :meth:`add`,
+    and :meth:`seal` either writes the frame meta — vertex prologue,
+    per-tile hash chain, final trace digest — or cross-checks it against
+    a meta a previous run already sealed, raising
+    :class:`TraceIntegrityError` on divergence.
+    """
+
+    def __init__(
+        self,
+        store: "TileChunkStore",
+        config: GPUConfig,
+        vertex_lines: Sequence[int],
+    ):
+        self._store = store
+        self._builder = TraceDigestBuilder(config, vertex_lines)
+        self._vertex_lines = list(vertex_lines)
+        self._num_quads = 0
+        self._pixels_shaded = 0
+
+    def add(
+        self, tile: TileCoord, entry: TileTraceEntry,
+        digest: Optional[str] = None,
+    ) -> None:
+        """Fold one tile in; ``digest`` skips rehashing a verified chunk."""
+        if digest is None:
+            self._builder.add(tile, entry)
+        else:
+            self._builder.add_digest(tile, digest)
+        self._num_quads += len(entry.quads)
+        self._pixels_shaded += sum(
+            quad.covered_pixels for quad in entry.quads
+        )
+
+    def seal(self) -> str:
+        """Finish the chain; persist or cross-check the frame meta."""
+        digest = self._builder.finish(self._num_quads, self._pixels_shaded)
+        existing = self._store.frame_meta()
+        if existing is not None:
+            if existing.get("digest") != digest:
+                raise TraceIntegrityError(
+                    f"chunked frame under {self._store.directory} "
+                    f"reassembled to digest {digest}, but its sealed "
+                    f"meta records {existing.get('digest')!r}"
+                )
+            return digest
+        self._store.write_frame_meta(
+            digest=digest,
+            vertex_lines=self._vertex_lines,
+            tile_digests=self._builder.tile_digests,
+            num_quads=self._num_quads,
+            pixels_shaded=self._pixels_shaded,
+        )
+        return digest
+
+
+class TileChunkStore:
+    """Tile-granular trace checkpoints, hash-chained to the trace digest.
+
+    The streaming dataflow's durable form of pass 1: one verified chunk
+    per tile coordinate (same header-line + pickle layout as
+    :class:`TraceCheckpointStore`, same torn-write/corruption fault
+    points, same atomic replace) plus a ``frame.json`` meta record
+    holding the vertex prologue and the per-tile hash chain whose final
+    link is exactly :func:`trace_digest` of the reassembled trace.
+
+    A missing, truncated or corrupt chunk is a *cache miss* — the
+    caller re-renders that one tile — never an error, mirroring the
+    trace store's self-healing contract at tile granularity.  The first
+    design point of a streaming campaign therefore renders each tile
+    once and chunks it; every later design point replays the same game
+    from chunks, restoring the render-once economy while peak memory
+    stays O(tiles-in-flight).
+    """
+
+    META_FILENAME = "frame.json"
+
+    def __init__(self, directory: os.PathLike, key: str):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.key = key
+
+    # -- per-tile chunks -------------------------------------------------------
+
+    def chunk_path(self, tile: TileCoord) -> Path:
+        return self.directory / f"t{tile[0]:03d}_{tile[1]:03d}.chunk"
+
+    def _fault_key(self, tile: TileCoord) -> str:
+        return f"{self.key}:{tile[0]},{tile[1]}"
+
+    def save_tile(self, tile: TileCoord, entry: TileTraceEntry) -> str:
+        """Atomically persist one tile's entry; returns its tile digest."""
+        payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = tile_digest(tile, entry)
+        header = _canonical_json({
+            "version": CHECKPOINT_VERSION,
+            "key": self.key,
+            "tile": list(tile),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "tile_digest": digest,
+            "num_quads": len(entry.quads),
+        })
+        path = self.chunk_path(tile)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".chunk"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header.encode("ascii") + b"\n")
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        if fault_point(
+            SITE_CHUNK_SAVE, key=self._fault_key(tile)
+        ) == KIND_TORN_WRITE:
+            # Same simulated torn write as the trace store: the rename
+            # survived but the payload tail never hit the platter; the
+            # next load must detect it and re-render this one tile.
+            _truncate_file(path, 0.5)
+        return digest
+
+    def load_tile(
+        self, tile: TileCoord
+    ) -> Optional[Tuple[TileTraceEntry, str]]:
+        """Load one verified chunk, or ``None`` to mean "re-render me".
+
+        Returns ``(entry, tile_digest)`` so the caller's running frame
+        digest can reuse the chunk's verified hash instead of rehashing
+        the entry on every replay.
+        """
+        path = self.chunk_path(tile)
+        if not path.is_file():
+            return None
+        fault = fault_point(SITE_CHUNK_LOAD, key=self._fault_key(tile))
+        if fault == KIND_TRUNCATE:
+            _truncate_file(path, 0.5)
+        elif fault == KIND_CORRUPT:
+            _flip_last_byte(path)
+        try:
+            with open(path, "rb") as handle:
+                header_line = handle.readline(_HEADER_LIMIT)
+                payload = handle.read()
+            header = json.loads(header_line.decode("ascii"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if (
+            header.get("version") != CHECKPOINT_VERSION
+            or header.get("key") != self.key
+            or header.get("tile") != list(tile)
+        ):
+            return None
+        if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(entry, TileTraceEntry):
+            return None
+        digest = header.get("tile_digest")
+        if not isinstance(digest, str):
+            return None
+        return entry, digest
+
+    # -- frame meta ------------------------------------------------------------
+
+    def meta_path(self) -> Path:
+        return self.directory / self.META_FILENAME
+
+    def frame_meta(self) -> Optional[Dict[str, Any]]:
+        """The sealed frame record, or ``None`` while incomplete/corrupt."""
+        path = self.meta_path()
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                meta = json.load(handle)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(meta, dict) or meta.get("key") != self.key:
+            return None
+        return meta
+
+    def vertex_lines(self) -> Optional[List[int]]:
+        """The frame's vertex prologue, once a full traversal sealed it."""
+        meta = self.frame_meta()
+        if meta is None:
+            return None
+        lines = meta.get("vertex_lines")
+        return list(lines) if isinstance(lines, list) else None
+
+    def digest(self) -> Optional[str]:
+        """The sealed trace digest, or ``None`` while incomplete."""
+        meta = self.frame_meta()
+        return meta.get("digest") if meta else None
+
+    def write_frame_meta(
+        self,
+        digest: str,
+        vertex_lines: Sequence[int],
+        tile_digests: Dict[TileCoord, str],
+        num_quads: int,
+        pixels_shaded: int,
+    ) -> Path:
+        """Atomically seal the frame: chain record + final digest."""
+        chain = [
+            {"tile": list(tile), "digest": tile_digests[tile]}
+            for tile in sorted(tile_digests)
+        ]
+        meta = _canonical_json({
+            "version": CHECKPOINT_VERSION,
+            "key": self.key,
+            "digest": digest,
+            "vertex_lines": list(vertex_lines),
+            "num_quads": num_quads,
+            "pixels_shaded": pixels_shaded,
+            "chain": chain,
+        })
+        path = self.meta_path()
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                handle.write(meta + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def begin_frame(
+        self, config: GPUConfig, vertex_lines: Sequence[int]
+    ) -> ChunkedFrameDigest:
+        """Start the running digest for one full tile traversal."""
+        return ChunkedFrameDigest(self, config, vertex_lines)
 
 
 class SweepProgress:

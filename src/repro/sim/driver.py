@@ -10,13 +10,23 @@ assignment, the tile order and the barrier architecture: tiles are
 disjoint (so tile order cannot change Z results), Early-Z depends only on
 within-tile primitive order (fixed by the program), and quad-to-SC
 mapping does not alter which fragments survive.  That is what makes the
-two-pass split exact rather than approximate.
+two-pass split exact rather than approximate — and what makes the
+*incremental* API below exact as well: :meth:`FrameRenderer.render_tiles`
+emits tiles one at a time, in **any** requested order, and every emitted
+:class:`TileTraceEntry` is bit-identical to the one a whole-frame
+:meth:`FrameRenderer.render` would have produced.
+
+The incremental split is the producer half of the streaming tile
+dataflow (:mod:`repro.sim.stream`): geometry, clipping and binning run
+once up front (:meth:`FrameRenderer.begin_tiles`), then tiles are
+rasterized on demand so a consumer can replay and drop each tile without
+ever materializing the full frame.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +52,14 @@ LINE_BYTES = 64
 
 #: Render engine names accepted by :class:`FrameRenderer`.
 ENGINES = ("fast", "reference")
+
+#: Tiles buffered per footprint-batching flush of the incremental fast
+#: pass.  Large enough that the vectorized LOD/cache-line math in
+#: ``finalize_quads_fast`` keeps its batching win, small enough that a
+#: streaming consumer holds O(group) tiles rather than the frame.
+#: ``group_size=0`` means "one flush for the whole frame", which is the
+#: exact allocation pattern (and arithmetic) of the monolithic render.
+DEFAULT_GROUP_TILES = 16
 
 
 @dataclass
@@ -130,52 +148,25 @@ class FrameTrace:
         )
 
 
-class FrameRenderer:
-    """Runs pass 1 for one workload.
+class _FastTilePass:
+    """Incremental fast-engine pass 1: geometry up front, tiles on demand.
 
-    Two engines produce bit-identical :class:`FrameTrace` records:
-
-    - ``"fast"`` (default) batches the whole Geometry Pipeline and the
-      per-tile rasterization with numpy, falling back to the scalar
-      clipper only for triangles straddling the near plane.
-    - ``"reference"`` is the original scalar pipeline, kept verbatim as
-      the equality oracle (``sanitizer.trace_digest`` matches per game).
-
-    Image output and non-bilinear samplers always take the reference
-    path — the fast engine only accelerates trace generation.
+    The constructor runs everything that is *frame*-scoped — the batched
+    Geometry Pipeline, clipping, and Polygon List binning.  Tiles are
+    then rasterized one at a time by :meth:`tile_entry`, with the
+    footprint batching of ``finalize_quads_fast`` amortized over groups
+    of buffered tiles (:meth:`iter_tiles`) or collapsed to a single tile
+    (:meth:`render_tile`, the checkpoint-resume path).  Grouping only
+    partitions the footprint math — every per-quad LOD and cache-line
+    row depends on that quad's own lanes alone — so any group size
+    yields bit-identical entries.
     """
 
-    def __init__(
-        self,
-        config: GPUConfig,
-        sampler: Optional[Sampler] = None,
-        engine: str = "fast",
-    ):
-        if engine not in ENGINES:
-            raise ConfigError(
-                f"unknown render engine {engine!r}; "
-                f"choose from {', '.join(ENGINES)}"
-            )
-        self.config = config
-        self.sampler = sampler or Sampler()
-        self.engine = engine
+    framebuffer: Optional[FrameBuffer] = None
 
-    def render(
-        self, workload: BuiltWorkload, with_image: bool = False
-    ) -> Tuple[FrameTrace, Optional[FrameBuffer]]:
-        """Render one frame; returns the trace and (optionally) the image."""
-        if (
-            self.engine == "fast"
-            and not with_image
-            and self.sampler.filter_mode is FilterMode.BILINEAR
-        ):
-            return self._render_fast(workload), None
-        return self._render_reference(workload, with_image)
-
-    def _render_fast(self, workload: BuiltWorkload) -> FrameTrace:
-        """Batched pass 1: same trace as the reference engine, vectorized."""
+    def __init__(self, renderer: "FrameRenderer", workload: BuiltWorkload):
         scene = workload.scene
-        config = self.config
+        config = renderer.config
         stats = RenderStats(num_draws=len(scene.draws))
 
         # Geometry Pipeline, one batch per draw.
@@ -208,55 +199,107 @@ class FrameRenderer:
 
         # Tiling Engine.
         builder = PolygonListBuilder(config)
-        bins = builder.build_fast(batch)
+        self._bins = builder.build_fast(batch)
+        self._batch = batch
+        self._config = config
+        self._rasterizer = Rasterizer(config, workload.textures, renderer.sampler)
+        self._zbuffer = ZBuffer(config.tile_size)
+        self.vertex_lines = vertex_lines
+        self.stats = stats
 
-        # Raster Pipeline: whole-tile rasterization, then frame-level
-        # footprint batching.
-        rasterizer = Rasterizer(config, workload.textures, self.sampler)
-        zbuffer = ZBuffer(config.tile_size)
-        tiles: Dict[TileCoord, TileTraceEntry] = {}
-        pending: List[PendingTileQuads] = []
-        for tile in scanline_order(config.tiles_x, config.tiles_y):
-            rows = bins.rows_for_tile(tile)
-            count = len(rows)
-            tiles[tile] = TileTraceEntry(
-                fetch_lines=TileFetcher.fetch_lines_fast(
-                    bins, tile, batch.pid[rows]
-                ),
-                fetch_cycles=max(
-                    count * config.tile_fetcher_cycles_per_primitive, 1
-                ),
+    def tile_entry(
+        self, tile: TileCoord
+    ) -> Tuple[TileTraceEntry, Optional[PendingTileQuads]]:
+        """Rasterize one tile; quads stay pending until a flush."""
+        bins = self._bins
+        batch = self._batch
+        config = self._config
+        rows = bins.rows_for_tile(tile)
+        count = len(rows)
+        entry = TileTraceEntry(
+            fetch_lines=TileFetcher.fetch_lines_fast(
+                bins, tile, batch.pid[rows]
+            ),
+            fetch_cycles=max(
+                count * config.tile_fetcher_cycles_per_primitive, 1
+            ),
+        )
+        pending = None
+        if count:
+            pending = self._rasterizer.rasterize_tile_fast(
+                tile, batch, rows, self._zbuffer
             )
-            if count:
-                tile_quads = rasterizer.rasterize_tile_fast(
-                    tile, batch, rows, zbuffer
-                )
-                if tile_quads is not None:
-                    pending.append(tile_quads)
+        return entry, pending
 
-        for tile, quads in rasterizer.finalize_quads_fast(
-            batch, pending
-        ).items():
-            tiles[tile].quads = quads
-            if quads:
-                stats.nonempty_tiles += 1
+    def _flush(self, group, pending):
+        """Run the footprint batching for one buffered group of tiles."""
+        if pending:
+            quads_by_tile = self._rasterizer.finalize_quads_fast(
+                self._batch, pending
+            )
+            stats = self.stats
+            for tile, entry in group:
+                quads = quads_by_tile.get(tile)
+                if quads:
+                    entry.quads = quads
+                    stats.nonempty_tiles += 1
+        return group
 
+    def render_tile(self, tile: TileCoord) -> TileTraceEntry:
+        """One finished tile, finalized immediately (group of one)."""
+        entry, pending = self.tile_entry(tile)
+        if pending is not None:
+            self._flush(((tile, entry),), (pending,))
+        return entry
+
+    def iter_tiles(
+        self, order: Iterable[TileCoord], group_size: int = DEFAULT_GROUP_TILES
+    ) -> Iterator[Tuple[TileCoord, TileTraceEntry]]:
+        """Yield ``(tile, finished entry)`` in ``order``.
+
+        ``group_size`` bounds how many tiles are in flight between
+        footprint flushes; ``0`` defers to one whole-frame flush — the
+        monolithic render's exact behaviour.
+        """
+        group: List[Tuple[TileCoord, TileTraceEntry]] = []
+        pending: List[PendingTileQuads] = []
+        for tile in order:
+            entry, tile_pending = self.tile_entry(tile)
+            group.append((tile, entry))
+            if tile_pending is not None:
+                pending.append(tile_pending)
+            if group_size and len(group) >= group_size:
+                yield from self._flush(group, pending)
+                group = []
+                pending = []
+        yield from self._flush(group, pending)
+
+    def finish(self) -> RenderStats:
+        """Complete the frame-level counters; valid after full iteration."""
+        stats = self.stats
+        rasterizer = self._rasterizer
         stats.num_quads = rasterizer.quads_emitted
         stats.pixels_shaded = rasterizer.pixels_shaded
-        stats.z_cull_rate = zbuffer.cull_rate
-        return FrameTrace(
-            config=config,
-            vertex_lines=vertex_lines,
-            tiles=tiles,
-            stats=stats,
-        )
+        stats.z_cull_rate = self._zbuffer.cull_rate
+        return stats
 
-    def _render_reference(
-        self, workload: BuiltWorkload, with_image: bool = False
-    ) -> Tuple[FrameTrace, Optional[FrameBuffer]]:
-        """The original scalar pass 1 (the fast engine's equality oracle)."""
+
+class _ReferenceTilePass:
+    """Incremental scalar pass 1 (the fast pass's equality oracle).
+
+    Per-tile state (Z-buffer, Color Buffer) is cleared on entry to each
+    tile, so tiles can be produced in any order — the same disjointness
+    argument the module docstring makes for the whole trace.
+    """
+
+    def __init__(
+        self,
+        renderer: "FrameRenderer",
+        workload: BuiltWorkload,
+        with_image: bool = False,
+    ):
         scene = workload.scene
-        config = self.config
+        config = renderer.config
         stats = RenderStats(num_draws=len(scene.draws))
 
         # Geometry Pipeline.
@@ -282,48 +325,153 @@ class FrameRenderer:
 
         # Tiling Engine.
         builder = PolygonListBuilder(config)
-        parameter_buffer = builder.build(screen_primitives)
-
-        # Raster Pipeline (functional), canonical scanline traversal.
-        rasterizer = Rasterizer(config, workload.textures, self.sampler)
-        zbuffer = ZBuffer(config.tile_size)
-        fetcher = TileFetcher(config, hierarchy=None)
-        framebuffer = (
+        self._parameter_buffer = builder.build(screen_primitives)
+        self._rasterizer = Rasterizer(config, workload.textures, renderer.sampler)
+        self._zbuffer = ZBuffer(config.tile_size)
+        self._fetcher = TileFetcher(config, hierarchy=None)
+        self.framebuffer = (
             FrameBuffer(config.screen_width, config.screen_height, config.tile_size)
             if with_image else None
         )
-        color_buffer = ColorBuffer(config.tile_size) if with_image else None
-        blender = BlendingUnit() if with_image else None
+        self._color_buffer = ColorBuffer(config.tile_size) if with_image else None
+        self._blender = BlendingUnit() if with_image else None
+        self.vertex_lines = vertex_lines
+        self.stats = stats
 
-        tiles: Dict[TileCoord, TileTraceEntry] = {}
-        for tile in scanline_order(config.tiles_x, config.tiles_y):
-            primitives = parameter_buffer.primitives_for_tile(tile)
-            entry = TileTraceEntry(
-                fetch_lines=TileFetcher.fetch_lines(
-                    parameter_buffer, tile, primitives
-                ),
-                fetch_cycles=fetcher.fetch_cycles(parameter_buffer, tile),
+    def render_tile(self, tile: TileCoord) -> TileTraceEntry:
+        """One finished tile (canonical scalar rasterization)."""
+        parameter_buffer = self._parameter_buffer
+        primitives = parameter_buffer.primitives_for_tile(tile)
+        entry = TileTraceEntry(
+            fetch_lines=TileFetcher.fetch_lines(
+                parameter_buffer, tile, primitives
+            ),
+            fetch_cycles=self._fetcher.fetch_cycles(parameter_buffer, tile),
+        )
+        if primitives:
+            color_buffer = self._color_buffer
+            self._zbuffer.clear()
+            if color_buffer is not None:
+                color_buffer.clear()
+            entry.quads = self._rasterizer.rasterize_tile(
+                tile, primitives, self._zbuffer, color_buffer, self._blender
             )
-            if primitives:
-                zbuffer.clear()
-                if color_buffer is not None:
-                    color_buffer.clear()
-                entry.quads = rasterizer.rasterize_tile(
-                    tile, primitives, zbuffer, color_buffer, blender
-                )
-                if framebuffer is not None and color_buffer is not None:
-                    color_buffer.flush_tile(framebuffer, tile)
-                if entry.quads:
-                    stats.nonempty_tiles += 1
-            tiles[tile] = entry
+            if self.framebuffer is not None and color_buffer is not None:
+                color_buffer.flush_tile(self.framebuffer, tile)
+            if entry.quads:
+                self.stats.nonempty_tiles += 1
+        return entry
 
+    def iter_tiles(
+        self, order: Iterable[TileCoord], group_size: int = 0
+    ) -> Iterator[Tuple[TileCoord, TileTraceEntry]]:
+        """Yield ``(tile, entry)`` in ``order``; grouping is a no-op here."""
+        for tile in order:
+            yield tile, self.render_tile(tile)
+
+    def finish(self) -> RenderStats:
+        """Complete the frame-level counters; valid after full iteration."""
+        stats = self.stats
+        rasterizer = self._rasterizer
         stats.num_quads = rasterizer.quads_emitted
         stats.pixels_shaded = rasterizer.pixels_shaded
-        stats.z_cull_rate = zbuffer.cull_rate
+        stats.z_cull_rate = self._zbuffer.cull_rate
+        return stats
+
+
+class FrameRenderer:
+    """Runs pass 1 for one workload.
+
+    Two engines produce bit-identical :class:`FrameTrace` records:
+
+    - ``"fast"`` (default) batches the whole Geometry Pipeline and the
+      per-tile rasterization with numpy, falling back to the scalar
+      clipper only for triangles straddling the near plane.
+    - ``"reference"`` is the original scalar pipeline, kept verbatim as
+      the equality oracle (``sanitizer.trace_digest`` matches per game).
+
+    Image output and non-bilinear samplers always take the reference
+    path — the fast engine only accelerates trace generation.
+
+    Both engines expose the same two shapes of pass 1:
+
+    - :meth:`render` — the whole frame at once, returning a
+      :class:`FrameTrace`;
+    - :meth:`begin_tiles` / :meth:`render_tiles` — the incremental form:
+      frame-scoped geometry first, then per-tile emission in any order,
+      which is what the streaming dataflow drivers consume.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        sampler: Optional[Sampler] = None,
+        engine: str = "fast",
+    ):
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"unknown render engine {engine!r}; "
+                f"choose from {', '.join(ENGINES)}"
+            )
+        self.config = config
+        self.sampler = sampler or Sampler()
+        self.engine = engine
+
+    def begin_tiles(self, workload: BuiltWorkload, with_image: bool = False):
+        """Run the frame-scoped half of pass 1; returns a tile pass.
+
+        The returned pass exposes ``vertex_lines`` (the Geometry
+        Pipeline's cache lines, known before any tile is rasterized),
+        ``iter_tiles(order, group_size)``, ``render_tile(tile)`` for
+        selective re-render (checkpoint resume), and ``finish()`` for
+        the frame-level :class:`RenderStats`.
+        """
+        if (
+            self.engine == "fast"
+            and not with_image
+            and self.sampler.filter_mode is FilterMode.BILINEAR
+        ):
+            return _FastTilePass(self, workload)
+        return _ReferenceTilePass(self, workload, with_image)
+
+    def render_tiles(
+        self,
+        workload: BuiltWorkload,
+        order: Optional[Iterable[TileCoord]] = None,
+        group_size: int = DEFAULT_GROUP_TILES,
+    ) -> Iterator[Tuple[TileCoord, TileTraceEntry]]:
+        """Incremental pass 1: yield ``(tile, entry)`` pairs in ``order``.
+
+        ``order`` defaults to scanline; a streaming replay passes the
+        design point's traversal instead, so tiles are produced exactly
+        when consumed.  Entries are bit-identical to :meth:`render`'s
+        for any order and any ``group_size`` (tiles are disjoint; see
+        the module docstring).
+        """
+        if order is None:
+            order = scanline_order(self.config.tiles_x, self.config.tiles_y)
+        return self.begin_tiles(workload).iter_tiles(order, group_size)
+
+    def render(
+        self, workload: BuiltWorkload, with_image: bool = False
+    ) -> Tuple[FrameTrace, Optional[FrameBuffer]]:
+        """Render one frame; returns the trace and (optionally) the image.
+
+        Implemented on the incremental pass with ``group_size=0`` (one
+        whole-frame footprint flush), which is the monolithic render's
+        exact arithmetic and allocation pattern.
+        """
+        tile_pass = self.begin_tiles(workload, with_image)
+        tiles: Dict[TileCoord, TileTraceEntry] = {}
+        for tile, entry in tile_pass.iter_tiles(
+            scanline_order(self.config.tiles_x, self.config.tiles_y),
+            group_size=0,
+        ):
+            tiles[tile] = entry
         trace = FrameTrace(
-            config=config,
-            vertex_lines=vertex_lines,
+            config=self.config,
+            vertex_lines=tile_pass.vertex_lines,
             tiles=tiles,
-            stats=stats,
+            stats=tile_pass.finish(),
         )
-        return trace, framebuffer
+        return trace, tile_pass.framebuffer

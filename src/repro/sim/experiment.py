@@ -10,17 +10,24 @@ verified traces from disk instead of rendering again.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.stats import geometric_mean
 from repro.config import GPUConfig, TEST_CONFIG
 from repro.core.dtexl import BASELINE, DTexLConfig
 from repro.errors import CheckpointError, ReplayError
-from repro.sim.checkpoint import TraceCheckpointStore, trace_key
+from repro.sim.checkpoint import TileChunkStore, TraceCheckpointStore, trace_key
 from repro.sim.driver import FrameRenderer, FrameTrace
 from repro.sim.faults import SITE_REPLAY, fault_point
 from repro.sim.replay import RunResult, TraceReplayer
+from repro.sim.stream import (
+    FrameSource,
+    OverlappedTileStream,
+    StreamingTileStream,
+    check_driver,
+)
 from repro.sim.resilience import (
     FailureRecord,
     ReplayBudget,
@@ -29,6 +36,9 @@ from repro.sim.resilience import (
 )
 from repro.texture.sampler import Sampler
 from repro.workloads.games import GAMES, build_game
+
+#: Subdirectory of a trace checkpoint store holding per-tile chunks.
+CHUNK_SUBDIR = "chunks"
 
 
 @dataclass
@@ -103,7 +113,18 @@ class SuiteResult:
 
 
 class ExperimentRunner:
-    """Caches traces and replays design points over the suite."""
+    """Caches traces and replays design points over the suite.
+
+    ``stream`` picks the render→replay dataflow: ``"batch"`` (default)
+    materializes each game's :class:`FrameTrace` once and replays it
+    per design point; ``"streaming"`` renders tiles on the fly and
+    drops them after replay, caching per-tile chunks in the checkpoint
+    store (when attached) so later design points still pay one render;
+    ``"overlap"`` renders in a worker process feeding a bounded queue
+    while this process replays.  All three produce bit-identical
+    :class:`RunResult`\\ s — the drivers change *when* memory and time
+    are spent, never what is computed.
+    """
 
     def __init__(
         self,
@@ -112,16 +133,23 @@ class ExperimentRunner:
         games: Optional[Iterable[str]] = None,
         checkpoint_store: Optional[TraceCheckpointStore] = None,
         budget: Optional[ReplayBudget] = None,
+        stream: str = "batch",
     ):
         self.config = config
         self.renderer = FrameRenderer(config, sampler)
         self.replayer = TraceReplayer(config, budget=budget)
         self.games: List[str] = list(games) if games is not None else list(GAMES)
         self.checkpoint_store = checkpoint_store
+        self.stream = check_driver(stream)
         self._traces: Dict[str, FrameTrace] = {}
         #: Functional renders actually performed (checkpoint hits skip it);
         #: the probe the resume tests use to prove no trace was re-rendered.
+        #: On the streaming path a run that rendered *any* tile (instead
+        #: of loading every chunk) counts as one render.
         self.renders_performed = 0
+        #: Wall seconds per dataflow phase, accumulated across runs; the
+        #: sweep folds these into the manifest's ``phase_seconds``.
+        self.phase_seconds: Dict[str, float] = {}
 
     # -- pass 1 cache -----------------------------------------------------------
 
@@ -181,6 +209,38 @@ class ExperimentRunner:
             keys[alias] = key
         return keys
 
+    # -- streaming dataflow ------------------------------------------------------
+
+    def chunk_store_for(self, alias: str) -> Optional[TileChunkStore]:
+        """The game's per-tile chunk store, when checkpointing is on.
+
+        Chunks live under ``<trace store>/chunks/<trace key>/`` so a
+        campaign directory carries both granularities side by side and
+        ``trace_key`` keeps chunked frames from colliding across
+        configs or recipes.
+        """
+        if self.checkpoint_store is None or alias not in GAMES:
+            return None
+        key = trace_key(self.config, GAMES[alias].recipe)
+        return TileChunkStore(
+            self.checkpoint_store.directory / CHUNK_SUBDIR / key, key
+        )
+
+    def stream_for(
+        self, alias: str
+    ) -> Union[StreamingTileStream, OverlappedTileStream]:
+        """Build this runner's configured tile stream for one game."""
+        if self.stream == "overlap":
+            if alias not in GAMES:
+                build_game(alias, self.config)  # raises UnknownWorkloadError
+            return OverlappedTileStream(
+                FrameSource(config=self.config, recipe=GAMES[alias].recipe)
+            )
+        workload = build_game(alias, self.config)
+        return StreamingTileStream(
+            self.renderer, workload, chunk_store=self.chunk_store_for(alias)
+        )
+
     # -- pass 2 -----------------------------------------------------------------
 
     def run(self, alias: str, design: DTexLConfig) -> RunResult:
@@ -188,11 +248,24 @@ class ExperimentRunner:
 
         The fault point keys on ``design/game`` and matches the one the
         sweep's parallel worker task evaluates, so serial and parallel
-        campaigns see the same injected failures.
+        campaigns see the same injected failures whichever stream
+        driver executes the replay.
         """
-        trace = self.trace_for(alias)
+        if self.stream == "batch":
+            trace = self.trace_for(alias)
+            fault_point(SITE_REPLAY, key=f"{design.name}/{alias}")
+            return self.replayer.run(trace, design)
+        start = time.monotonic()  # replint: disable=wall-clock -- dataflow phase attribution for the manifest, never a simulated quantity
         fault_point(SITE_REPLAY, key=f"{design.name}/{alias}")
-        return self.replayer.run(trace, design)
+        stream = self.stream_for(alias)
+        result = self.replayer.run_stream(stream, design)
+        if isinstance(stream, OverlappedTileStream) or stream.tiles_rendered:
+            self.renders_performed += 1
+        elapsed = time.monotonic() - start  # replint: disable=wall-clock -- dataflow phase attribution for the manifest, never a simulated quantity
+        self.phase_seconds["streamed"] = (
+            self.phase_seconds.get("streamed", 0.0) + elapsed
+        )
+        return result
 
     def run_suite(
         self,

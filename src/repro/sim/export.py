@@ -8,7 +8,6 @@ tools, without those classes having to know about serialization.
 This lives in ``sim`` — not ``analysis`` — because the sweep writes
 run manifests as part of campaign execution, and ``sim`` importing the
 analysis layer is a forbidden edge under ``archcontract.toml``.
-:mod:`repro.analysis.export` re-exports everything for callers above.
 """
 
 from __future__ import annotations

@@ -55,7 +55,8 @@ from repro.errors import BudgetExceededError, ConfigError, InjectedFaultError
 
 __all__ = [
     "FaultPlan", "FaultSpec", "FireEvent", "InjectedKill",
-    "SITE_CHECKPOINT_LOAD", "SITE_CHECKPOINT_SAVE", "SITE_JOURNAL_RECORD",
+    "SITE_CHECKPOINT_LOAD", "SITE_CHECKPOINT_SAVE", "SITE_CHUNK_LOAD",
+    "SITE_CHUNK_SAVE", "SITE_JOURNAL_RECORD",
     "SITE_REPLAY", "SITE_WORKER", "SITES",
     "KIND_BUDGET", "KIND_CORRUPT", "KIND_EXIT", "KIND_HANG", "KIND_KILL",
     "KIND_PARTIAL_LINE", "KIND_TORN_WRITE", "KIND_TRANSIENT",
@@ -68,6 +69,8 @@ __all__ = [
 
 SITE_CHECKPOINT_SAVE = "checkpoint.save"
 SITE_CHECKPOINT_LOAD = "checkpoint.load"
+SITE_CHUNK_SAVE = "chunk.save"
+SITE_CHUNK_LOAD = "chunk.load"
 SITE_JOURNAL_RECORD = "journal.record"
 SITE_REPLAY = "replay.run"
 SITE_WORKER = "sweep.worker"
@@ -97,6 +100,8 @@ KIND_HANG = "hang"
 KINDS_BY_SITE: Dict[str, Tuple[str, ...]] = {
     SITE_CHECKPOINT_SAVE: (KIND_TORN_WRITE,),
     SITE_CHECKPOINT_LOAD: (KIND_TRUNCATE, KIND_CORRUPT),
+    SITE_CHUNK_SAVE: (KIND_TORN_WRITE,),
+    SITE_CHUNK_LOAD: (KIND_TRUNCATE, KIND_CORRUPT),
     SITE_JOURNAL_RECORD: (KIND_PARTIAL_LINE, KIND_KILL),
     SITE_REPLAY: (KIND_TRANSIENT, KIND_BUDGET),
     SITE_WORKER: (KIND_EXIT, KIND_HANG),
@@ -264,6 +269,7 @@ class FaultPlan:
             attempt = self._counts.get((site, key), 0) + 1
             self._counts[(site, key)] = attempt
         data_kind: Optional[str] = None
+        record_fire = self.fired.append
         for spec in self.specs:
             if spec.site != site or not spec.window_contains(attempt):
                 continue
@@ -274,7 +280,7 @@ class FaultPlan:
             )
             if draw >= spec.probability:
                 continue
-            self.fired.append(FireEvent(site, spec.kind, key, attempt))
+            record_fire(FireEvent(site, spec.kind, key, attempt))
             self._execute(spec, site)
             if data_kind is None and spec.kind in _DATA_KINDS:
                 data_kind = spec.kind

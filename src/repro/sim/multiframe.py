@@ -6,6 +6,14 @@ memory hierarchy**, so frame *k+1* starts with whatever texture lines
 frame *k* left resident.  Per-frame results are counter deltas, so the
 sequence exposes the cold-start penalty of frame 0 and the steady-state
 behaviour afterwards.
+
+The simulator speaks every tile-stream dataflow: ``stream="batch"``
+(default) materializes each frame's trace, ``"streaming"`` renders and
+replays one tile group at a time so a long animation never holds a
+whole frame, and ``"overlap"`` renders frame *k*'s later tiles in a
+worker while this process replays its earlier ones.  Warm-cache frame
+deltas are unaffected — the drivers deliver identical tile sequences,
+so the hierarchy sees identical accesses in identical order.
 """
 
 from __future__ import annotations
@@ -20,6 +28,12 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.checkpoint import TraceCheckpointStore, trace_key
 from repro.sim.driver import FrameRenderer, FrameTrace
 from repro.sim.replay import RunResult, TraceReplayer
+from repro.sim.stream import (
+    FrameSource,
+    OverlappedTileStream,
+    StreamingTileStream,
+    check_driver,
+)
 from repro.texture.sampler import Sampler
 from repro.workloads.animation import Animation
 
@@ -67,11 +81,13 @@ class AnimationSimulator:
         config: GPUConfig,
         sampler: Optional[Sampler] = None,
         checkpoint_store: Optional[TraceCheckpointStore] = None,
+        stream: str = "batch",
     ):
         self.config = config
         self.renderer = FrameRenderer(config, sampler)
         self.replayer = TraceReplayer(config)
         self.checkpoint_store = checkpoint_store
+        self.stream = check_driver(stream)
         #: Functional renders actually performed (checkpoint hits skip it).
         self.renders_performed = 0
 
@@ -97,6 +113,15 @@ class AnimationSimulator:
             self.checkpoint_store.save(key, trace)
         return trace
 
+    def _frame_stream(self, animation: Animation, frame: int):
+        """One frame's streamed dataflow (never materializes the trace)."""
+        if self.stream == "overlap":
+            return OverlappedTileStream(FrameSource(
+                config=self.config, recipe=animation.recipe, frame=frame,
+            ))
+        workload = animation.recipe.build(self.config, frame=frame)
+        return StreamingTileStream(self.renderer, workload)
+
     def run(
         self,
         animation: Animation,
@@ -108,10 +133,16 @@ class AnimationSimulator:
         hierarchy = MemoryHierarchy(gpu)
         result = AnimationResult(design_point=design.name)
         for frame in range(animation.num_frames):
-            trace = self._frame_trace(animation, frame)
             if cold_caches_each_frame:
                 hierarchy.reset()
-            result.frames.append(
-                self.replayer.run(trace, design, hierarchy=hierarchy)
-            )
+            if self.stream == "batch":
+                trace = self._frame_trace(animation, frame)
+                run = self.replayer.run(trace, design, hierarchy=hierarchy)
+            else:
+                stream = self._frame_stream(animation, frame)
+                run = self.replayer.run_stream(
+                    stream, design, hierarchy=hierarchy
+                )
+                self.renders_performed += 1
+            result.frames.append(run)
         return result

@@ -37,8 +37,9 @@ from repro.raster.pipeline import (
     SubtileWork,
     TileWork,
 )
-from repro.sim.driver import FrameTrace, TileTraceEntry
+from repro.sim.driver import FrameTrace
 from repro.sim.resilience import ReplayBudget
+from repro.sim.stream import BatchTileStream, TileWorkUnit  # noqa: F401 — re-exported for replay callers
 
 
 @dataclass
@@ -133,6 +134,30 @@ class TraceReplayer:
         Passing an existing ``hierarchy`` replays the frame against warm
         caches (multi-frame animation); all reported counters are deltas
         for this frame only.
+
+        A thin wrapper over :meth:`run_stream` with the batch driver —
+        the materialized trace is just one way of feeding the tile
+        stream, kept as the executable specification the streaming
+        drivers are differential-tested against.
+        """
+        return self.run_stream(
+            BatchTileStream(trace), design, hierarchy=hierarchy
+        )
+
+    def run_stream(
+        self,
+        stream,
+        design: DTexLConfig,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ) -> RunResult:
+        """Replay a tile stream under ``design``; returns the full result.
+
+        ``stream`` is any :mod:`repro.sim.stream` driver; it is opened
+        with the design point's tile traversal, so producer and consumer
+        walk the same order and the frame counters accumulate per tile
+        exactly as the batch walk accumulated them.  The vertex/PB
+        prologue rides the first unit, preserving the batch replayer's
+        access order bit for bit.
         """
         gpu = design.effective_gpu_config(self.config)
         fast = self.engine == "fast"
@@ -146,40 +171,40 @@ class TraceReplayer:
         scheduler = design.build_scheduler(self.config)
         n_cores = gpu.num_shader_cores
 
-        if fast:
-            hierarchy.vertex_access_lines(trace.vertex_lines)
-        else:
-            for line in trace.vertex_lines:
-                hierarchy.vertex_access(line)
-
         tile_works: List[TileWork] = []
         per_tile_counts: List[List[int]] = []
         total_quads = 0
         process = self._tile_quads_fast if fast else self._tile_quads_reference
         # Hot loop: resolve attribute chains once, not per tile.
-        tile_entries = trace.tiles
         check_quads = self.budget.check_quads
-        for step, tile in enumerate(scheduler.tiles):
-            entry = tile_entries.get(tile) or TileTraceEntry()
-            if fast:
-                hierarchy.tile_access_lines(entry.fetch_lines)
-            else:
-                for line in entry.fetch_lines:
-                    hierarchy.tile_access(line)
-            subtiles, counts = process(
-                entry, scheduler, step, hierarchy, gpu, n_cores
-            )
-            total_quads += len(entry.quads)
-            tile_works.append(
-                TileWork(
-                    tile=tile,
-                    step=step,
-                    fetch_cycles=entry.fetch_cycles,
-                    subtiles=subtiles,
+        with stream.open(scheduler.tiles) as units:
+            for unit in units:
+                entry = unit.entry
+                vertex_lines = unit.vertex_lines
+                if fast:
+                    if vertex_lines:
+                        hierarchy.vertex_access_lines(vertex_lines)
+                    hierarchy.tile_access_lines(entry.fetch_lines)
+                else:
+                    for line in vertex_lines:
+                        hierarchy.vertex_access(line)
+                    for line in entry.fetch_lines:
+                        hierarchy.tile_access(line)
+                step = unit.step
+                subtiles, counts = process(
+                    entry, scheduler, step, hierarchy, gpu, n_cores
                 )
-            )
-            per_tile_counts.append(counts)
-            check_quads(total_quads, design.name)
+                total_quads += len(entry.quads)
+                tile_works.append(
+                    TileWork(
+                        tile=unit.tile,
+                        step=step,
+                        fetch_cycles=entry.fetch_cycles,
+                        subtiles=subtiles,
+                    )
+                )
+                per_tile_counts.append(counts)
+                check_quads(total_quads, design.name)
 
         replication = hierarchy.replication_factor()
         pipeline = RasterPipelineModel(gpu, design.decoupled)

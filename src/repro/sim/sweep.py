@@ -60,11 +60,13 @@ from repro.sim.driver import FrameRenderer
 from repro.sim.export import write_run_manifest
 from repro.sim.checkpoint import (
     SweepProgress,
+    TileChunkStore,
     TraceCheckpointStore,
     campaign_key,
     config_hash,
+    trace_key,
 )
-from repro.sim.experiment import ExperimentRunner, SuiteResult
+from repro.sim.experiment import CHUNK_SUBDIR, ExperimentRunner, SuiteResult
 from repro.sim.replay import TraceReplayer
 from repro.sim.resilience import (
     FailureRecord,
@@ -75,8 +77,9 @@ from repro.sim.resilience import (
     RunManifest,
     run_guarded,
 )
+from repro.sim.stream import StreamingTileStream
 from repro.stats import per_tile_imbalance
-from repro.workloads.games import build_game
+from repro.workloads.games import GAMES, build_game
 
 #: Column order of sweep rows.
 ROW_FIELDS = [
@@ -128,6 +131,24 @@ def _worker_trace(store_dir: str, key: str, config=None, alias=None):
     return trace
 
 
+def _worker_stream(store_dir: str, key: str, config, alias: str):
+    """Build one streamed replay's tile stream inside a worker.
+
+    Chunks live under the same ``chunks/<trace key>`` layout the serial
+    runner uses, so serial and parallel streaming campaigns share (and
+    resume from) the same tile-granular cache.  Concurrent workers
+    racing to chunk the same game are safe: saves are atomic per tile
+    and every writer produces the identical entry.
+    """
+    workload = build_game(alias, config)
+    chunk_store = TileChunkStore(
+        Path(store_dir) / CHUNK_SUBDIR / key, key
+    )
+    return StreamingTileStream(
+        FrameRenderer(config), workload, chunk_store=chunk_store
+    )
+
+
 def _replay_task(
     store_dir: str,
     key: str,
@@ -140,6 +161,7 @@ def _replay_task(
     game: str,
     policy: Optional[RetryPolicy],
     guarded: bool,
+    stream_driver: str = "batch",
     plan: Optional[faults.FaultPlan] = None,
     attempt: int = 1,
 ):
@@ -151,6 +173,13 @@ def _replay_task(
     :func:`run_guarded` produces serially, so retry accounting and
     failure records match bit-for-bit.
 
+    ``stream_driver`` is ``"batch"`` (load the whole trace, replay it)
+    or ``"streaming"`` (render/load tiles one chunk at a time) — a
+    runner configured for ``"overlap"`` degrades to ``"streaming"``
+    here, because each worker is already its own process and nesting a
+    render child under it buys nothing.  Either way the result is
+    bit-identical; only the memory/time profile differs.
+
     ``plan`` re-arms the parent's fault plan inside the worker (fork
     inheritance is not guaranteed under spawn, and a respawned pool
     must re-arm anyway); ``attempt`` is the task's scheduling attempt,
@@ -161,16 +190,26 @@ def _replay_task(
         faults.fault_point(
             faults.SITE_WORKER, key=f"{design_name}/{game}", attempt=attempt
         )
-        trace = _worker_trace(store_dir, key, config, game)
         replayer = TraceReplayer(
             config, energy_params=energy_params, budget=budget, engine=engine
         )
+        if stream_driver == "batch":
+            trace = _worker_trace(store_dir, key, config, game)
 
-        def replay():
-            faults.fault_point(
-                faults.SITE_REPLAY, key=f"{design_name}/{game}"
-            )
-            return replayer.run(trace, design)
+            def replay():
+                faults.fault_point(
+                    faults.SITE_REPLAY, key=f"{design_name}/{game}"
+                )
+                return replayer.run(trace, design)
+        else:
+
+            def replay():
+                faults.fault_point(
+                    faults.SITE_REPLAY, key=f"{design_name}/{game}"
+                )
+                return replayer.run_stream(
+                    _worker_stream(store_dir, key, config, game), design
+                )
 
         if not guarded:
             return replay(), None
@@ -492,6 +531,7 @@ class DesignSweep:
             config_hash=config_hash(runner.config),
             games=list(runner.games),
         )
+        phase_before = dict(runner.phase_seconds)
         if jobs == 1:
             self._run_serial(
                 runner, retry_policy, completed, progress, report, manifest
@@ -502,6 +542,15 @@ class DesignSweep:
                 jobs, task_timeout_s, max_task_attempts,
             )
 
+        # Fold the runner's dataflow phases (the streamed render+replay
+        # interleave has no separable render/replay split) into the
+        # manifest, counting only this campaign's share.
+        for phase, seconds in runner.phase_seconds.items():
+            delta = seconds - phase_before.get(phase, 0.0)
+            if delta > 0.0:
+                manifest.phase_seconds[phase] = (
+                    manifest.phase_seconds.get(phase, 0.0) + delta
+                )
         manifest.failures = list(report.failures)
         manifest.wall_time_s = time.monotonic() - start  # replint: disable=wall-clock -- campaign wall time for the manifest, never a simulated quantity
         report.wall_time_s = manifest.wall_time_s
@@ -587,6 +636,10 @@ class DesignSweep:
             manifest.phase_seconds[phase] = now - phase_start
             phase_start = now
 
+        # A runner configured for "overlap" degrades to "streaming" in
+        # workers: each task already runs in its own process, so nesting
+        # a render child under it buys no further overlap.
+        stream_driver = "batch" if runner.stream == "batch" else "streaming"
         try:
             if pending:
                 store = runner.checkpoint_store
@@ -594,11 +647,20 @@ class DesignSweep:
                     temp_dir = tempfile.mkdtemp(prefix="repro-sweep-traces-")
                     store = TraceCheckpointStore(temp_dir)
                 store_dir = str(store.directory)
-                keys = runner.prepare_traces(store)
-                for alias, key in keys.items():
-                    cache_key = (store_dir, key)
-                    _WORKER_TRACES[cache_key] = runner.trace_for(alias)
-                    seeded.append(cache_key)
+                if stream_driver == "batch":
+                    keys = runner.prepare_traces(store)
+                    for alias, key in keys.items():
+                        cache_key = (store_dir, key)
+                        _WORKER_TRACES[cache_key] = runner.trace_for(alias)
+                        seeded.append(cache_key)
+                else:
+                    # Streaming: the parent never materializes a trace;
+                    # workers render (or chunk-load) their own tiles,
+                    # keyed so they share one tile-granular cache.
+                    keys = {
+                        alias: trace_key(runner.config, GAMES[alias].recipe)
+                        for alias in runner.games
+                    }
                 stamp("render")
                 replayer = runner.replayer
                 config = runner.config
@@ -614,7 +676,7 @@ class DesignSweep:
                         (_BASELINE_TASK, alias),
                         (store_dir, keys[alias], config, self.baseline,
                          params, budget, engine, self.baseline.name, alias,
-                         retry_policy, False),
+                         retry_policy, False, stream_driver),
                     )
                 for design in pending:
                     for alias in runner.games:
@@ -622,7 +684,7 @@ class DesignSweep:
                             (design.name, alias),
                             (store_dir, keys[alias], config, design,
                              params, budget, engine, design.name, alias,
-                             retry_policy, True),
+                             retry_policy, True, stream_driver),
                         )
                 stamp("pool_startup")
                 # Baseline first, in games order: the first failing

@@ -10,8 +10,6 @@ of the layer stack (beside :mod:`repro.errors`) where both the
 simulator (``sim.experiment`` averages suite ratios, ``sim.sweep``
 scores rows) and the reporting layer may import them; ``sim`` importing
 ``repro.analysis`` is a forbidden edge under ``archcontract.toml``.
-:mod:`repro.analysis.metrics` re-exports them under the historical
-names.
 """
 
 from __future__ import annotations

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis.export import (
+from repro.sim.export import (
     run_result_to_dict,
     suite_result_to_dict,
     to_json,

@@ -44,16 +44,16 @@ TINY = GPUConfig(screen_width=128, screen_height=64)
 #: Regenerate deliberately (render at 128x64 and print ``trace_digest``)
 #: when the trace format or the pipeline semantics change on purpose.
 GOLDEN_DIGESTS = {
-    "CCS": "60a9a061c3a67d5190a19cdd97288f4a364cde44b7427c2aa8ee57b8f1e4c221",
-    "SoD": "0bdf45fb94925ff8846fa9e25c0b517d3868cc53e8d0c01b44a9c11a188b8cc8",
-    "TRu": "31773f6c4d8c5a415851962ed3794a5bab9da3a0202605fadb8eebb7b45f974c",
-    "SWa": "16813f374648851cf8551a84bd46398723370feca7ed32341b2063eb3669ca09",
-    "CRa": "f8b2d4dc8209dea4865978874a827e15279546bcd0831618a0b1657b48f75b3f",
-    "RoK": "eea0a51e3d460cb12b5932e95aefbfc55e9f38bf54165df22e7b140e8a9839a8",
-    "DDS": "64356f6a490586e47e3d4ef04ada7835d798940d92b2ebf97c7c12fe4f4015a2",
-    "Snp": "4f7c52b1bfeab395ec80657ce0560a047ed3583300cc02bcea1578130e3fd5fe",
-    "Mze": "5432f6a538c30e82d57523dbcb68772e2162806ffb92d4585e0ee65e7cb77a83",
-    "GTr": "45ffc4a3b20a63ed7678d48fde13dc7108c0a14c96f648165ea4f91f30dcbdf7",
+    "CCS": "fc651646ade518701d6872ced9145426a1a3e69768fe86da165022b5e47e8562",
+    "SoD": "e001543455cafb6dc115d1987fb8f393d23bd712c779572292d0e60d3a3fcbca",
+    "TRu": "b3d67870becf652c584d2495912af1a3e7d7aff5079724cb5f48786868df46ce",
+    "SWa": "c857d8d55ea5b48a2b8b76fac740de31ee58333d8249031b4b04c29c9984b338",
+    "CRa": "758382fd254b4f5812e5fb014cd97c350f9c15f88aea98eff5fa8d06517ec4ca",
+    "RoK": "cbf73bc0a294f6ed0217cb3e500c2be234e36e651a1d6a72467f70e7e01d72be",
+    "DDS": "175d90722c86af3c2d748828550340833b90dcd722f019c6a6ab751c5b9a8b59",
+    "Snp": "8e8fa3a7e37200400d282ba2717e1010973a41da5b432116879515914bb06f6b",
+    "Mze": "1f9bed25adbb12e452cbd4fecc99a3ff7f2e65712d4c55c776501c09d3a9be84",
+    "GTr": "f4df89c618fd3a113300175e9e7a39c7485e02477aacc83b68f9fa1800023e1d",
 }
 
 

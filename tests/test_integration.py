@@ -7,7 +7,7 @@ a reduced screen size, and assert the *directions* the paper reports.
 
 import pytest
 
-from repro.analysis.metrics import per_tile_imbalance
+from repro.stats import per_tile_imbalance
 from repro.core.dtexl import (
     BASELINE,
     DTEXL_BEST,

@@ -1,10 +1,10 @@
-"""Tests for the analysis metrics."""
+"""Tests for the paper-metric helpers in repro.stats."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.metrics import (
+from repro.stats import (
     geometric_mean,
     mean_deviation,
     per_tile_imbalance,

@@ -4,7 +4,8 @@ import pytest
 
 from repro.config import GPUConfig
 from repro.core.dtexl import BASELINE, DTEXL_BEST
-from repro.sim.multiframe import AnimationSimulator
+from repro.errors import ConfigError
+from repro.sim.multiframe import AnimationResult, AnimationSimulator
 from repro.workloads.animation import Animation
 from repro.workloads.recipe import SceneRecipe
 
@@ -96,3 +97,75 @@ class TestWarmCaches:
         base = sim.run(animation, BASELINE)
         dtexl = sim.run(animation, DTEXL_BEST)
         assert dtexl.total_l2_accesses < base.total_l2_accesses
+
+
+class TestFrameCoherenceStats:
+    """Edge behaviour of the aggregate animation statistics."""
+
+    def test_warmup_ratio_single_frame_is_neutral(self, warm_result):
+        solo = AnimationResult(
+            design_point="solo", frames=warm_result.frames[:1]
+        )
+        assert solo.warmup_ratio() == 1.0
+
+    def test_warmup_ratio_matches_counters(self, warm_result):
+        later = warm_result.frames[1:]
+        steady = sum(f.l2_accesses for f in later) / len(later)
+        expected = warm_result.frames[0].l2_accesses / steady
+        assert warm_result.warmup_ratio() == pytest.approx(expected)
+
+    def test_empty_result_fps_is_infinite(self):
+        empty = AnimationResult(design_point="none")
+        assert empty.fps(600) == float("inf")
+        assert empty.total_cycles == 0
+        assert empty.total_l2_accesses == 0
+
+    def test_fps_scales_with_frequency(self, warm_result):
+        assert warm_result.fps(1200) == pytest.approx(
+            2.0 * warm_result.fps(600)
+        )
+
+
+class TestStreamedAnimation:
+    """The stream drivers must not perturb warm-cache frame deltas."""
+
+    def test_streaming_matches_batch(self, config, animation):
+        batch = AnimationSimulator(config).run(animation, BASELINE)
+        streamed = AnimationSimulator(config, stream="streaming").run(
+            animation, BASELINE
+        )
+        assert streamed.frames == batch.frames
+
+    def test_overlap_matches_batch(self, config, animation):
+        batch = AnimationSimulator(config).run(animation, DTEXL_BEST)
+        overlapped = AnimationSimulator(config, stream="overlap").run(
+            animation, DTEXL_BEST
+        )
+        assert overlapped.frames == batch.frames
+
+    def test_streaming_cold_mode_matches_batch(self, config, animation):
+        batch = AnimationSimulator(config).run(
+            animation, BASELINE, cold_caches_each_frame=True
+        )
+        streamed = AnimationSimulator(config, stream="streaming").run(
+            animation, BASELINE, cold_caches_each_frame=True
+        )
+        assert streamed.frames == batch.frames
+
+    def test_streaming_warmup_still_observed(self, config, animation):
+        """Frame coherence survives the bounded-memory dataflow."""
+        streamed = AnimationSimulator(config, stream="streaming").run(
+            animation, BASELINE
+        )
+        cold = streamed.frames[0].dram_accesses
+        later = [f.dram_accesses for f in streamed.frames[1:]]
+        assert cold >= max(later)
+
+    def test_streaming_counts_renders(self, config, animation):
+        sim = AnimationSimulator(config, stream="streaming")
+        sim.run(animation, BASELINE)
+        assert sim.renders_performed == animation.num_frames
+
+    def test_unknown_stream_rejected(self, config):
+        with pytest.raises(ConfigError, match="unknown stream driver"):
+            AnimationSimulator(config, stream="warp")

@@ -96,7 +96,7 @@ class TestDesignPointOrdering:
     ):
         """On a real game frame (clustered overdraw), coarse grouping is
         worse-balanced than the fine-grained baseline — Figures 12/15."""
-        from repro.analysis.metrics import per_tile_imbalance
+        from repro.stats import per_tile_imbalance
 
         replayer = TraceReplayer(small_config)
         fg = replayer.run(small_game_trace, BASELINE)

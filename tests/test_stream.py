@@ -1,0 +1,345 @@
+"""Differential tests for the streaming tile dataflow.
+
+The non-negotiable invariant of the render→replay seam refactor: the
+three stream drivers (``batch``, ``streaming``, ``overlap``) produce
+**bit-identical** :class:`RunResult`\\ s for the same frame and design
+point — over the whole game suite, over randomized recipes, across
+tile-traversal orders, and with or without the tile-granular chunk
+cache.  The batch driver is the executable specification; the other two
+only change *when* memory and time are spent.
+
+Also covered here: the :class:`TileWorkUnit` protocol (vertex prologue
+rides the first unit only), the :class:`TileChunkStore` hash chain
+terminating in the trace digest, chunk-corruption self-healing, and the
+overlap driver's crash/timeout surfacing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPUConfig
+from repro.core.dtexl import BASELINE, DTEXL_BEST, DTexLConfig
+from repro.errors import (
+    ConfigError,
+    ReplayError,
+    TaskTimeoutError,
+    TraceIntegrityError,
+    WorkerCrashError,
+)
+from repro.sim.checkpoint import TileChunkStore, trace_digest
+from repro.sim.driver import FrameRenderer
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.replay import TraceReplayer
+from repro.sim.stream import (
+    STREAM_DRIVERS,
+    BatchTileStream,
+    FrameSource,
+    OverlappedTileStream,
+    StreamingTileStream,
+    TileWorkUnit,
+    check_driver,
+)
+from repro.workloads.games import GAMES, build_game, game_aliases
+from repro.workloads.recipe import SceneRecipe
+
+TINY = GPUConfig(screen_width=128, screen_height=64)
+
+#: Orders that traverse the 4x2 grid differently, so production order
+#: (scanline groups inside the render pass) never equals consumption
+#: order by accident.
+ORDER_POINTS = [
+    BASELINE,
+    DTEXL_BEST,
+    DTexLConfig(name="probe-sorder", order="sorder", decoupled=True),
+]
+
+
+@pytest.fixture(scope="module")
+def replayer():
+    return TraceReplayer(TINY)
+
+
+def batch_result(alias, design, replayer):
+    workload = build_game(alias, TINY)
+    trace, _ = FrameRenderer(TINY).render(workload)
+    return replayer.run(trace, design), trace
+
+
+def streaming_result(alias, design, replayer, chunk_store=None, group_size=5):
+    workload = build_game(alias, TINY)
+    stream = StreamingTileStream(
+        FrameRenderer(TINY), workload,
+        group_size=group_size, chunk_store=chunk_store,
+    )
+    return replayer.run_stream(stream, design), stream
+
+
+def overlap_result(alias, design, replayer, **kwargs):
+    source = FrameSource(config=TINY, recipe=GAMES[alias].recipe)
+    stream = OverlappedTileStream(source, **kwargs)
+    return replayer.run_stream(stream, design)
+
+
+# -- driver equivalence ------------------------------------------------------
+
+
+class TestDriverEquivalence:
+    @pytest.mark.parametrize("alias", game_aliases())
+    def test_streaming_matches_batch_all_games(self, alias, replayer):
+        batch, _ = batch_result(alias, DTEXL_BEST, replayer)
+        streamed, _ = streaming_result(alias, DTEXL_BEST, replayer)
+        assert streamed == batch
+
+    @pytest.mark.parametrize("alias", game_aliases())
+    def test_overlap_matches_batch_all_games(self, alias, replayer):
+        batch, _ = batch_result(alias, DTEXL_BEST, replayer)
+        assert overlap_result(alias, DTEXL_BEST, replayer) == batch
+
+    @pytest.mark.parametrize("design", ORDER_POINTS, ids=lambda d: d.name)
+    def test_orders_agree_across_drivers(self, design, replayer):
+        """Traversal order is the consumer's; producers must not care."""
+        batch, _ = batch_result("GTr", design, replayer)
+        streamed, _ = streaming_result("GTr", design, replayer, group_size=3)
+        assert streamed == batch
+        assert overlap_result("GTr", design, replayer, queue_depth=2) == batch
+
+    @pytest.mark.parametrize("group_size", [0, 1, 3, 100])
+    def test_group_size_never_changes_results(self, group_size, replayer):
+        batch, _ = batch_result("SWa", BASELINE, replayer)
+        streamed, _ = streaming_result(
+            "SWa", BASELINE, replayer, group_size=group_size
+        )
+        assert streamed == batch
+
+    def test_streaming_stats_match_batch_trace(self, replayer):
+        _, trace = batch_result("SWa", BASELINE, replayer)
+        _, stream = streaming_result("SWa", BASELINE, replayer)
+        assert stream.stats == trace.stats
+        assert stream.tiles_rendered == TINY.tiles_x * TINY.tiles_y
+
+
+# -- randomized recipes ------------------------------------------------------
+
+
+recipe_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "is_3d": st.booleans(),
+        "depth_complexity": st.floats(min_value=0.5, max_value=3.0),
+        "blend_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "texture_samples": st.integers(min_value=0, max_value=3),
+    }
+)
+
+
+class TestRandomRecipes:
+    @given(params=recipe_params)
+    @settings(max_examples=10, deadline=None)
+    def test_random_recipe_streaming_matches_batch(self, params):
+        recipe = SceneRecipe(name="prop", texture_budget_mib=0.25, **params)
+        workload = recipe.build(TINY)
+        replayer = TraceReplayer(TINY)
+        trace, _ = FrameRenderer(TINY).render(workload)
+        batch = replayer.run(trace, DTEXL_BEST)
+        stream = StreamingTileStream(
+            FrameRenderer(TINY), recipe.build(TINY), group_size=2
+        )
+        assert replayer.run_stream(stream, DTEXL_BEST) == batch
+
+
+# -- the unit protocol -------------------------------------------------------
+
+
+class TestProtocol:
+    def test_stream_driver_names(self):
+        assert STREAM_DRIVERS == ("batch", "streaming", "overlap")
+        for name in STREAM_DRIVERS:
+            assert check_driver(name) == name
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(ConfigError, match="unknown stream driver"):
+            check_driver("lazy")
+
+    @pytest.mark.parametrize("kind", ["batch", "streaming"])
+    def test_vertex_prologue_rides_first_unit_only(self, kind, replayer):
+        workload = build_game("SWa", TINY)
+        trace, _ = FrameRenderer(TINY).render(workload)
+        order = DTEXL_BEST.build_scheduler(TINY).tiles
+        if kind == "batch":
+            stream = BatchTileStream(trace)
+        else:
+            stream = StreamingTileStream(FrameRenderer(TINY), workload)
+        with stream.open(order) as units:
+            units = list(units)
+        assert [unit.tile for unit in units] == list(order)
+        assert [unit.step for unit in units] == list(range(len(order)))
+        assert list(units[0].vertex_lines) == list(trace.vertex_lines)
+        assert all(len(unit.vertex_lines) == 0 for unit in units[1:])
+
+    def test_batch_stream_yields_empty_entries_for_bare_tiles(self):
+        """A tile the trace never filed gets a default empty entry."""
+        trace, _ = FrameRenderer(TINY).render(build_game("SWa", TINY))
+        bare = (0, 0)
+        del trace.tiles[bare]
+        order = BASELINE.build_scheduler(TINY).tiles
+        with BatchTileStream(trace).open(order) as units:
+            for unit in units:
+                assert isinstance(unit, TileWorkUnit)
+                if unit.tile == bare:
+                    assert len(unit.entry.fetch_lines) == 0
+                    assert len(unit.entry.quads) == 0
+
+    def test_overlap_requires_open(self):
+        source = FrameSource(config=TINY, recipe=GAMES["SWa"].recipe)
+        stream = OverlappedTileStream(source)
+        with pytest.raises(ReplayError, match="open"):
+            list(stream)
+
+    def test_overlap_rejects_bad_queue_depth(self):
+        source = FrameSource(config=TINY, recipe=GAMES["SWa"].recipe)
+        with pytest.raises(ConfigError, match="queue_depth"):
+            OverlappedTileStream(source, queue_depth=0)
+
+
+# -- tile-granular chunk cache ----------------------------------------------
+
+
+class TestChunkStore:
+    def test_chunk_chain_terminates_in_trace_digest(self, tmp_path, replayer):
+        """The store's sealed digest IS the batch trace digest."""
+        batch, trace = batch_result("SWa", BASELINE, replayer)
+        store = TileChunkStore(tmp_path / "chunks", "k1")
+        streamed, stream = streaming_result(
+            "SWa", BASELINE, replayer, chunk_store=store
+        )
+        assert streamed == batch
+        assert store.digest() == trace_digest(trace)
+        assert store.vertex_lines() == list(trace.vertex_lines)
+
+    def test_second_replay_loads_every_chunk(self, tmp_path, replayer):
+        store = TileChunkStore(tmp_path / "chunks", "k1")
+        first, s1 = streaming_result(
+            "SWa", DTEXL_BEST, replayer, chunk_store=store
+        )
+        assert s1.tiles_rendered == TINY.tiles_x * TINY.tiles_y
+        second, s2 = streaming_result(
+            "SWa", DTEXL_BEST, replayer,
+            chunk_store=TileChunkStore(tmp_path / "chunks", "k1"),
+        )
+        assert second == first
+        assert s2.tiles_rendered == 0
+
+    def test_corrupt_chunk_self_heals(self, tmp_path, replayer):
+        store = TileChunkStore(tmp_path / "chunks", "k1")
+        first, _ = streaming_result(
+            "SWa", BASELINE, replayer, chunk_store=store
+        )
+        victim = store.chunk_path((1, 1))
+        payload = victim.read_bytes()
+        victim.write_bytes(payload[: len(payload) // 2])
+        healed_store = TileChunkStore(tmp_path / "chunks", "k1")
+        healed, stream = streaming_result(
+            "SWa", BASELINE, replayer, chunk_store=healed_store
+        )
+        assert healed == first
+        assert stream.tiles_rendered == 1  # only the torn tile
+        assert healed_store.load_tile((1, 1)) is not None  # re-chunked
+
+    def test_tampered_frame_meta_is_caught(self, tmp_path, replayer):
+        store = TileChunkStore(tmp_path / "chunks", "k1")
+        streaming_result("SWa", BASELINE, replayer, chunk_store=store)
+        meta = store.frame_meta()
+        store.write_frame_meta(
+            "0" * 64, meta["vertex_lines"],
+            {}, meta["num_quads"], meta["pixels_shaded"],
+        )
+        with pytest.raises(TraceIntegrityError):
+            streaming_result(
+                "SWa", BASELINE, replayer,
+                chunk_store=TileChunkStore(tmp_path / "chunks", "k1"),
+            )
+
+    def test_load_rejects_wrong_key(self, tmp_path, replayer):
+        store = TileChunkStore(tmp_path / "chunks", "k1")
+        streaming_result("SWa", BASELINE, replayer, chunk_store=store)
+        other = TileChunkStore(tmp_path / "chunks", "k2")
+        assert other.load_tile((0, 0)) is None
+        assert other.digest() is None
+
+
+# -- overlap fault surfacing -------------------------------------------------
+
+
+class TestOverlapFaults:
+    def test_killed_worker_raises_worker_crash(self, replayer):
+        source = FrameSource(config=TINY, recipe=GAMES["SWa"].recipe)
+        stream = OverlappedTileStream(source, queue_depth=1)
+        order = BASELINE.build_scheduler(TINY).tiles
+        with stream:
+            stream.open(order)
+            stream._process.kill()
+            with pytest.raises(WorkerCrashError, match="died"):
+                list(stream)
+
+    def test_stalled_worker_raises_timeout(self, replayer):
+        source = FrameSource(config=TINY, recipe=GAMES["SWa"].recipe)
+        stream = OverlappedTileStream(source, queue_depth=1, timeout_s=0.5)
+        order = BASELINE.build_scheduler(TINY).tiles
+        with stream:
+            stream.open(order)
+            os.kill(stream._process.pid, signal.SIGSTOP)
+            start = time.monotonic()
+            with pytest.raises((TaskTimeoutError, WorkerCrashError)):
+                list(stream)
+            assert time.monotonic() - start < 10.0
+
+    def test_errors_are_transient_flagged(self):
+        """Both overlap failure modes must be retryable, like the pool's."""
+        assert WorkerCrashError("x").transient
+        assert TaskTimeoutError("x").transient
+
+
+# -- experiment-runner integration -------------------------------------------
+
+
+class TestRunnerStreams:
+    @pytest.mark.parametrize("stream", STREAM_DRIVERS)
+    def test_runner_results_identical(self, stream):
+        runner = ExperimentRunner(TINY, games=["SWa"], stream=stream)
+        result = runner.run("SWa", DTEXL_BEST)
+        reference = ExperimentRunner(TINY, games=["SWa"]).run(
+            "SWa", DTEXL_BEST
+        )
+        assert result == reference
+
+    def test_runner_rejects_unknown_stream(self):
+        with pytest.raises(ConfigError, match="unknown stream driver"):
+            ExperimentRunner(TINY, stream="turbo")
+
+    def test_streamed_runner_stamps_phase_seconds(self):
+        runner = ExperimentRunner(TINY, games=["SWa"], stream="streaming")
+        runner.run("SWa", BASELINE)
+        assert runner.phase_seconds["streamed"] > 0.0
+
+    def test_chunked_runner_renders_once_across_design_points(self, tmp_path):
+        from repro.sim.checkpoint import TraceCheckpointStore
+
+        store = TraceCheckpointStore(tmp_path / "traces")
+        runner = ExperimentRunner(
+            TINY, games=["SWa"], checkpoint_store=store, stream="streaming"
+        )
+        runner.run("SWa", BASELINE)
+        runner.run("SWa", DTEXL_BEST)
+        assert runner.renders_performed == 1
+        fresh = ExperimentRunner(
+            TINY, games=["SWa"], checkpoint_store=store, stream="streaming"
+        )
+        fresh.run("SWa", BASELINE)
+        assert fresh.renders_performed == 0
